@@ -1,0 +1,79 @@
+// Ablation: where does Reco-Mul's advantage come from?
+//   * ALG_p choice: BSSI (default) vs SEBF vs LP ordering, all through the
+//     same Algorithm-2 transform;
+//   * start-time regularization on/off (off = raw S_p in the OCS, one
+//     reconfiguration per distinct start);
+//   * sequential strawman: the same BSSI order but one coflow at a time.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/slice.hpp"
+#include "ocs/slice_executor.hpp"
+#include "sched/fluid.hpp"
+#include "sched/multi_baselines.hpp"
+#include "sched/packet_scheduler.hpp"
+#include "sched/reco_mul.hpp"
+#include "stats/report.hpp"
+#include "trace/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reco;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  const GeneratorOptions g = bench::multi_coflow_workload(opts);
+  const auto coflows = bench::reindex(generate_workload(g));
+
+  struct Row {
+    const char* name;
+    MultiScheduleResult result;
+  };
+  const std::vector<Row> rows = {
+      {"Reco-Mul + BSSI", reco_mul_pipeline(coflows, g.delta, g.c_threshold,
+                                            OrderingPolicy::kBssi)},
+      {"Reco-Mul + SEBF", reco_mul_pipeline(coflows, g.delta, g.c_threshold,
+                                            OrderingPolicy::kSebf)},
+      {"Reco-Mul + LP order", reco_mul_pipeline(coflows, g.delta, g.c_threshold,
+                                                OrderingPolicy::kLp)},
+      {"no start regularization", unregularized_pipeline(coflows, g.delta)},
+      {"sequential (BSSI+RecoSin)",
+       sequential_multi_schedule(coflows, bssi_order(coflows), g.delta,
+                                 SingleCoflowAlgo::kRecoSin)},
+  };
+
+  const double reference = rows.front().result.total_weighted_cct;
+  ReportTable t("Ablation: Reco-Mul design choices");
+  t.set_header({"variant", "sum w*CCT", "reconfigs", "vs default"});
+  for (const Row& row : rows) {
+    t.add_row({row.name, fmt_double(row.result.total_weighted_cct, 4),
+               std::to_string(row.result.reconfigurations),
+               fmt_ratio(row.result.total_weighted_cct / reference)});
+  }
+
+  // Reference points outside the all-stop design space: the same pseudo
+  // schedule on a not-all-stop fabric, and the idealized fluid packet
+  // switch (an unreachable lower reference for ALG_p itself).
+  {
+    const std::vector<int> order = bssi_order(coflows);
+    const SliceSchedule packet = packet_schedule(coflows, order);
+    const RecoMulSchedule rm = reco_mul_transform(packet, g.delta, g.c_threshold);
+    const SliceSchedule nas = realize_not_all_stop(rm.pseudo, g.delta);
+    const auto nas_cct = completion_times(nas, static_cast<int>(coflows.size()));
+    t.add_row({"not-all-stop fabric (Sec. VI)", fmt_double(total_weighted_cct(nas_cct, coflows), 4),
+               std::to_string(static_cast<int>(packet.size())),
+               fmt_ratio(total_weighted_cct(nas_cct, coflows) / reference)});
+    const FluidScheduleResult fluid = fluid_packet_schedule(coflows, order);
+    t.add_row({"fluid packet switch (Varys)", fmt_double(fluid.total_weighted_cct, 4), "0",
+               fmt_ratio(fluid.total_weighted_cct / reference)});
+  }
+
+  std::printf("Workload: %d coflows on %d ports; delta = %s; c = %.0f.\n\n", g.num_coflows,
+              g.num_ports, fmt_time(g.delta).c_str(), g.c_threshold);
+  t.print();
+  std::printf("Rows 1-3 vary ALG_p under the same transform; row 4 removes Algorithm 2's\n"
+              "start alignment; row 5 shows why concurrent (packet-style) schedules beat\n"
+              "one-coflow-at-a-time execution even with a good order.  The last two rows\n"
+              "step outside the all-stop design space: a not-all-stop fabric (per-port\n"
+              "setups, no global halts) and the idealized divisible-rate packet switch —\n"
+              "note how close Reco-Mul gets to the latter despite circuit constraints.\n");
+  return 0;
+}

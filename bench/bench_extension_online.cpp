@@ -1,0 +1,73 @@
+// Extension: online coflow arrivals (the paper's Sec. VIII future work).
+// Poisson arrivals at varying load; epoch-batched Reco-Mul vs FIFO
+// Reco-Sin, measuring weighted CCT from each coflow's arrival.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sched/online.hpp"
+#include "stats/report.hpp"
+#include "stats/summary.hpp"
+#include "trace/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reco;
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+
+  GeneratorOptions g;
+  g.num_ports = opts.ports > 0 ? opts.ports : 50;
+  g.num_coflows = opts.coflows > 0 ? opts.coflows : 80;
+  g.seed = opts.seed;
+  g.delta = opts.delta;
+  g.c_threshold = opts.c_threshold;
+
+  OnlineOptions online;
+  online.delta = g.delta;
+  online.c_threshold = g.c_threshold;
+
+  ReportTable t("Extension: online arrivals — three policies");
+  t.set_header({"mean gap", "epochs E/R", "Epoch w*CCT", "Replan w*CCT", "FIFO w*CCT",
+                "FIFO/Epoch", "Replan/Epoch"});
+
+  for (const Time gap : {0.0, 1e-3, 10e-3, 100e-3}) {
+    g.mean_interarrival = gap;
+    const auto coflows = generate_workload(g);
+    const OnlineScheduleResult epoch = schedule_online(coflows, OnlinePolicy::kEpochRecoMul, online);
+    const OnlineScheduleResult replan =
+        schedule_online(coflows, OnlinePolicy::kDrainReplanRecoMul, online);
+    const OnlineScheduleResult fifo = schedule_online(coflows, OnlinePolicy::kFifoRecoSin, online);
+    t.add_row({gap == 0.0 ? "all at 0" : fmt_time(gap),
+               std::to_string(epoch.epochs) + "/" + std::to_string(replan.epochs),
+               fmt_double(epoch.total_weighted_cct, 4),
+               fmt_double(replan.total_weighted_cct, 4),
+               fmt_double(fifo.total_weighted_cct, 4),
+               fmt_ratio(fifo.total_weighted_cct / epoch.total_weighted_cct),
+               fmt_ratio(replan.total_weighted_cct / epoch.total_weighted_cct)});
+  }
+
+  std::printf("Workload: %d coflows on %d ports; delta = %s; Poisson arrivals.\n\n",
+              g.num_coflows, g.num_ports, fmt_time(g.delta).c_str());
+  t.print();
+  // Load sweep: mean CCT vs offered load for the two Reco-Mul policies.
+  ReportTable sweep("Extension: offered-load sweep (mean CCT, seconds)");
+  sweep.set_header({"mean gap", "Epoch", "Drain-replan", "Replan/Epoch"});
+  for (const Time gap : {0.5e-3, 2e-3, 8e-3, 32e-3}) {
+    g.mean_interarrival = gap;
+    const auto coflows = generate_workload(g);
+    const OnlineScheduleResult epoch =
+        schedule_online(coflows, OnlinePolicy::kEpochRecoMul, online);
+    const OnlineScheduleResult replan =
+        schedule_online(coflows, OnlinePolicy::kDrainReplanRecoMul, online);
+    std::vector<double> e(epoch.cct.begin(), epoch.cct.end());
+    std::vector<double> r(replan.cct.begin(), replan.cct.end());
+    sweep.add_row({fmt_time(gap), fmt_double(mean(e), 4), fmt_double(mean(r), 4),
+                   fmt_ratio(mean(r) / mean(e))});
+  }
+  sweep.print();
+
+  std::printf("Expected: batching beats FIFO everywhere; reactive drain-and-replan\n"
+              "matches epoch batching on bursts (one epoch anyway) and pulls far ahead\n"
+              "as arrivals spread out, because newcomers no longer wait for a whole\n"
+              "epoch to drain.\n");
+  return 0;
+}

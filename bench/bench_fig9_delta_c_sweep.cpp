@@ -1,0 +1,90 @@
+// Fig. 9(a) + 9(b): multi-coflow sensitivity sweeps.
+//
+// 9(a): reconfiguration delay delta in {1us, 10us, 100us, 1ms, 10ms}.
+//       Paper: LP-II-GB needs 1.61x at 1us, ~1.99x at 10us, 3.74x at
+//       100us, then the gap *shrinks* to 1.17x/1.18x at 1ms/10ms because
+//       reconfiguration time dominates everything.
+// 9(b): optical transmission threshold c in {2..7} at delta = 100us.
+//       Paper: the ratio grows monotonically from 1.74x to 3.744x.
+//
+// 9(a) keeps the trace FIXED while sweeping delta, as the paper does: the
+// effective threshold c_eff = min demand / delta then shrinks with delta,
+// and below c_eff = 1 Algorithm 2's feasibility assumption frays — the
+// transform's legalization pass keeps schedules valid at the cost of
+// alignment, which is exactly why the paper's ratio collapses at ms-scale
+// delta.  9(b) regenerates the workload per point (min demand = c*delta is
+// a property of which flows are admitted to the OCS).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sched/multi_baselines.hpp"
+#include "stats/report.hpp"
+#include "stats/summary.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace reco;
+
+double weighted_cct_ratio(const std::vector<Coflow>& coflows, Time delta, double c) {
+  const double reco = reco_mul_pipeline(coflows, delta, c).total_weighted_cct;
+  const double lp = lp_ii_gb(coflows, delta).total_weighted_cct;
+  return lp / reco;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+
+  ReportTable ta("Fig. 9(a): normalized CCT (LP-II-GB / Reco-Mul) vs delta");
+  ta.set_header({"delta", "c_eff", "ratio", "paper"});
+  const Time deltas[] = {1e-6, 10e-6, 100e-6, 1e-3, 10e-3};
+  const char* paper_delta[] = {"1.61x", "1.99x", "3.74x", "1.17x", "1.18x"};
+  {
+    // One fixed trace (generated at the default delta), swept over delta.
+    const GeneratorOptions g = bench::multi_coflow_workload(opts);
+    const auto coflows = generate_workload(g);
+    double min_demand = 0.0;
+    for (const Coflow& c : coflows) {
+      const double mn = c.demand.min_nonzero();
+      if (mn > 0.0 && (min_demand == 0.0 || mn < min_demand)) min_demand = mn;
+    }
+    for (std::size_t i = 0; i < std::size(deltas); ++i) {
+      // The paper keeps c = 4 across the sweep; c_eff reports how much of
+      // the d >= c*delta assumption actually survives at each delta.
+      const double c_eff = min_demand / deltas[i];
+      ta.add_row({fmt_time(deltas[i]), fmt_double(c_eff, 1),
+                  fmt_ratio(weighted_cct_ratio(coflows, deltas[i], g.c_threshold)),
+                  paper_delta[i]});
+    }
+  }
+
+  ReportTable tb("Fig. 9(b): normalized CCT (LP-II-GB / Reco-Mul) vs c");
+  tb.set_header({"c", "ratio", "paper"});
+  const double cs[] = {2, 3, 4, 5, 6, 7};
+  const char* paper_c[] = {"1.74x", "1.85x", "1.96x", "2.83x", "3.30x", "3.74x"};
+  for (std::size_t i = 0; i < std::size(cs); ++i) {
+    bench::BenchOptions point = opts;
+    point.c_threshold = cs[i];
+    const GeneratorOptions g = bench::multi_coflow_workload(point);
+    const auto coflows = generate_workload(g);
+    tb.add_row({fmt_double(cs[i], 0), fmt_ratio(weighted_cct_ratio(coflows, g.delta, g.c_threshold)),
+                paper_c[i]});
+  }
+
+  const GeneratorOptions g = bench::multi_coflow_workload(opts);
+  std::printf("Workload: %d coflows on %d ports per point (use --full for 526/150);\n"
+              "regenerated per point to keep d >= c*delta.\n\n",
+              g.num_coflows, g.num_ports);
+  ta.print();
+  tb.print();
+  std::printf("Expected shapes: 9(a)'s ratio collapses once delta outgrows the flows\n"
+              "(c_eff < 1: alignment breaks down, legalization takes over) — the\n"
+              "paper's fall from 3.74x to ~1.17x; the low-delta hump needs the dense\n"
+              "150-port coflows whose BvN schedules drown LP-II-GB in setups (--full).\n"
+              "9(b) grows with c.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: matching,
+// decomposition, and scheduling throughput.  These are not paper figures;
+// they justify the incremental-matcher design (see DESIGN.md §3).
+#include <benchmark/benchmark.h>
+
+#include "bvn/bvn.hpp"
+#include "bvn/regularization.hpp"
+#include "bvn/stuffing.hpp"
+#include "matching/bottleneck.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "ocs/all_stop_executor.hpp"
+#include "sched/reco_sin.hpp"
+#include "sched/solstice.hpp"
+#include "trace/generator.hpp"
+#include "trace/rng.hpp"
+
+namespace {
+
+using namespace reco;
+
+Matrix dense_random(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) m.at(i, j) = rng.uniform(0.5, 10.0);
+  }
+  return m;
+}
+
+void BM_HopcroftKarpDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix m = dense_random(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(threshold_matching(m, 0.5).size);
+  }
+}
+BENCHMARK(BM_HopcroftKarpDense)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BottleneckMatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix m = dense_random(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bottleneck_perfect_matching(m)->bottleneck);
+  }
+}
+BENCHMARK(BM_BottleneckMatching)->Arg(32)->Arg(64);
+
+void BM_RegularizeAndStuff(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix m = dense_random(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stuff_granular(regularize(m, 0.25), 0.25).nnz());
+  }
+}
+BENCHMARK(BM_RegularizeAndStuff)->Arg(64)->Arg(150);
+
+void BM_BvnFirstMatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix m = stuff(dense_random(n, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bvn_decompose(m, BvnPolicy::kFirstMatching).num_assignments());
+  }
+}
+BENCHMARK(BM_BvnFirstMatching)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RecoSinEndToEnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix m = dense_random(n, 5);
+  const Time delta = 0.25;
+  for (auto _ : state) {
+    const CircuitSchedule s = reco_sin(m, delta);
+    benchmark::DoNotOptimize(execute_all_stop(s, m, delta).cct);
+  }
+}
+BENCHMARK(BM_RecoSinEndToEnd)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SolsticeEndToEnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix m = dense_random(n, 6);
+  for (auto _ : state) {
+    const CircuitSchedule s = solstice(m);
+    benchmark::DoNotOptimize(execute_all_stop(s, m, 0.25).cct);
+  }
+}
+BENCHMARK(BM_SolsticeEndToEnd)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  GeneratorOptions o;
+  o.num_ports = 150;
+  o.num_coflows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_workload(o).size());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(64)->Arg(526);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Scalability: planner wall-time and schedule size vs fabric width, for
+// the two main single-coflow schedulers on dense coflows.  Documents the
+// practical cost of the incremental-matching design (DESIGN.md §3): both
+// planners stay polynomial, with Reco-Sin emitting ~N assignments on
+// regularization-friendly demand versus Solstice's ~N log(range) slices.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ocs/all_stop_executor.hpp"
+#include "sched/reco_sin.hpp"
+#include "sched/solstice.hpp"
+#include "stats/report.hpp"
+#include "trace/rng.hpp"
+
+namespace {
+
+using namespace reco;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  Rng rng(opts.seed);
+  const Time delta = opts.delta;
+
+  ReportTable t("Scalability: dense coflow, planner cost vs fabric width");
+  t.set_header({"N", "flows", "Reco plan ms", "Reco assigns", "Solstice plan ms",
+                "Solstice assigns", "CCT ratio"});
+
+  for (const int n : {32, 64, 128, opts.full ? 256 : 192}) {
+    Matrix d(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (rng.uniform() < 0.6) d.at(i, j) = rng.uniform(4 * delta, 400 * delta);
+      }
+    }
+    const auto t0 = Clock::now();
+    const CircuitSchedule reco = reco_sin(d, delta);
+    const double reco_ms = ms_since(t0);
+
+    const auto t1 = Clock::now();
+    const CircuitSchedule sol = solstice(d);
+    const double sol_ms = ms_since(t1);
+
+    const ExecutionResult reco_run = execute_all_stop(reco, d, delta);
+    const ExecutionResult sol_run = execute_all_stop(sol, d, delta);
+
+    t.add_row({std::to_string(n), std::to_string(d.nnz()), fmt_double(reco_ms, 1),
+               std::to_string(reco.num_assignments()), fmt_double(sol_ms, 1),
+               std::to_string(sol.num_assignments()),
+               fmt_ratio(sol_run.cct / reco_run.cct)});
+  }
+
+  std::printf("Random dense coflows (60%% fill), delta = %s; --full extends to N=256.\n\n",
+              fmt_time(delta).c_str());
+  t.print();
+  std::printf("Expected: planner time grows ~N^3-ish for both (incremental matching\n"
+              "keeps the constant small); Reco-Sin's assignment count tracks the\n"
+              "demand/delta granularity while Solstice's tracks N log(max/floor).\n");
+  return 0;
+}

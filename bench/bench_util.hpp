@@ -1,0 +1,140 @@
+// Shared plumbing for the experiment binaries: command-line options, the
+// canonical workloads, and per-density-class sampling.
+//
+// Every experiment binary accepts:
+//   --coflows=N  --ports=N  --seed=S  --samples=N  --full
+// where --full switches to the paper's native scale (526 coflows on a
+// 150-port fabric).  Defaults are tuned so the whole bench suite completes
+// in minutes on one laptop core; EXPERIMENTS.md records both scales.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/coflow.hpp"
+#include "trace/generator.hpp"
+
+namespace reco::bench {
+
+struct BenchOptions {
+  int coflows = 0;   // 0 = per-bench default
+  int ports = 0;     // 0 = per-bench default
+  int samples = 0;   // 0 = per-bench default (per density class)
+  std::uint64_t seed = 20190707;
+  bool full = false;
+  Time delta = 100e-6;
+  double c_threshold = 4.0;
+  std::string csv_dir;  ///< when set, benches export raw per-sample CSVs here
+};
+
+inline BenchOptions parse_args(int argc, char** argv) {
+  BenchOptions o;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto val = [&](const char* prefix) -> const char* {
+      return arg.size() > std::strlen(prefix) && arg.rfind(prefix, 0) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    if (const char* v = val("--coflows=")) {
+      o.coflows = std::atoi(v);
+    } else if (const char* v = val("--ports=")) {
+      o.ports = std::atoi(v);
+    } else if (const char* v = val("--samples=")) {
+      o.samples = std::atoi(v);
+    } else if (const char* v = val("--seed=")) {
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--csv=")) {
+      o.csv_dir = v;
+    } else if (arg == "--full") {
+      o.full = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("options: --coflows=N --ports=N --samples=N --seed=S --full --csv=DIR\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/// Single-coflow experiments run at paper scale by default (the per-coflow
+/// algorithms are cheap enough); sampling keeps the dense class affordable.
+inline GeneratorOptions single_coflow_workload(const BenchOptions& o) {
+  GeneratorOptions g;
+  g.num_ports = o.ports > 0 ? o.ports : 150;
+  g.num_coflows = o.coflows > 0 ? o.coflows : 526;
+  g.seed = o.seed;
+  g.delta = o.delta;
+  g.c_threshold = o.c_threshold;
+  return g;
+}
+
+/// Multi-coflow experiments default to a medium scale where the LP-II-GB
+/// interval-indexed LP is exactly solvable by the dense simplex; --full
+/// selects paper scale (the LP ordering then falls back to BSSI, which the
+/// binary reports).
+inline GeneratorOptions multi_coflow_workload(const BenchOptions& o) {
+  GeneratorOptions g;
+  g.num_ports = o.ports > 0 ? o.ports : (o.full ? 150 : 50);
+  g.num_coflows = o.coflows > 0 ? o.coflows : (o.full ? 526 : 120);
+  g.seed = o.seed;
+  g.delta = o.delta;
+  g.c_threshold = o.c_threshold;
+  return g;
+}
+
+/// Up to `max_per_class` coflow indices of each density class, preserving
+/// trace order (a deterministic subsample for the per-class CDFs).
+inline std::vector<int> sample_class(const std::vector<Coflow>& coflows, DensityClass cls,
+                                     int max_per_class) {
+  std::vector<int> out;
+  for (int k = 0; k < static_cast<int>(coflows.size()); ++k) {
+    if (coflows[k].density_class() == cls) {
+      out.push_back(k);
+      if (static_cast<int>(out.size()) >= max_per_class) break;
+    }
+  }
+  return out;
+}
+
+inline const char* class_name(DensityClass cls) {
+  switch (cls) {
+    case DensityClass::kSparse: return "sparse";
+    case DensityClass::kNormal: return "normal";
+    case DensityClass::kDense: return "dense";
+  }
+  return "?";
+}
+
+inline constexpr DensityClass kAllClasses[] = {DensityClass::kSparse, DensityClass::kNormal,
+                                               DensityClass::kDense};
+
+/// Re-assign contiguous ids 0..n-1 (the multi-coflow pipelines index their
+/// per-coflow results by id).
+inline std::vector<Coflow> reindex(std::vector<Coflow> coflows) {
+  for (std::size_t k = 0; k < coflows.size(); ++k) coflows[k].id = static_cast<int>(k);
+  return coflows;
+}
+
+/// The coflows of one density class, re-indexed for standalone scheduling.
+inline std::vector<Coflow> subset_by_class(const std::vector<Coflow>& coflows,
+                                           DensityClass cls) {
+  std::vector<Coflow> out;
+  for (const Coflow& c : coflows) {
+    if (c.density_class() == cls) out.push_back(c);
+  }
+  return reindex(std::move(out));
+}
+
+/// Set every weight to 1 (the unweighted-CCT experiments).
+inline std::vector<Coflow> unit_weighted(std::vector<Coflow> coflows) {
+  for (Coflow& c : coflows) c.weight = 1.0;
+  return coflows;
+}
+
+}  // namespace reco::bench

@@ -1,0 +1,52 @@
+// Quickstart: schedule one coflow on an OCS with Reco-Sin and compare it
+// against Solstice — the five-minute tour of the library.
+//
+//   $ ./quickstart
+//
+// Walks through: building a demand matrix, regularization, scheduling,
+// executing on the all-stop switch model, and reading the metrics.
+#include <cstdio>
+
+#include "bvn/regularization.hpp"
+#include "core/lower_bound.hpp"
+#include "ocs/all_stop_executor.hpp"
+#include "sched/reco_sin.hpp"
+#include "sched/solstice.hpp"
+
+int main() {
+  using namespace reco;
+
+  // The worked example from the paper's Fig. 2: a 3x3 shuffle whose entries
+  // are "ragged" -- just over multiples of the reconfiguration delay.
+  const Matrix demand =
+      Matrix::from_rows({{104, 109, 102}, {103, 105, 107}, {108, 101, 106}});
+  const Time delta = 100.0;  // reconfiguration delay, same time unit as demands
+
+  std::printf("Demand matrix D:\n%s\n", demand.to_string().c_str());
+  std::printf("rho(D) = %.0f (bottleneck port load)\n", demand.rho());
+  std::printf("tau(D) = %d (circuits some port needs)\n", demand.tau());
+  std::printf("lower bound = rho + tau*delta = %.0f\n\n",
+              single_coflow_lower_bound(demand, delta));
+
+  // Step 1 of Reco-Sin: regularization aligns entries to multiples of delta.
+  std::printf("Regularized matrix D':\n%s\n",
+              regularize(demand, delta).to_string().c_str());
+
+  // Full Reco-Sin: regularize + stuff + max-min BvN decomposition.
+  const CircuitSchedule reco = reco_sin(demand, delta);
+  std::printf("Reco-Sin schedule (%d establishments):\n%s\n", reco.num_assignments(),
+              reco.to_string().c_str());
+
+  // Execute on the all-stop OCS: circuits stop as soon as their *original*
+  // demand finishes, so the measured CCT beats the planned coefficients.
+  const ExecutionResult reco_run = execute_all_stop(reco, demand, delta);
+  std::printf("Reco-Sin:  CCT = %.0f  (transmission %.0f + %d reconfigs x %.0f)\n",
+              reco_run.cct, reco_run.transmission_time, reco_run.reconfigurations, delta);
+
+  const ExecutionResult sol_run = execute_all_stop(solstice(demand), demand, delta);
+  std::printf("Solstice:  CCT = %.0f  (transmission %.0f + %d reconfigs x %.0f)\n",
+              sol_run.cct, sol_run.transmission_time, sol_run.reconfigurations, delta);
+
+  std::printf("\nReco-Sin finishes %.2fx faster here.\n", sol_run.cct / reco_run.cct);
+  return 0;
+}

@@ -1,0 +1,225 @@
+// reco_sim_cli: drive any scheduler in the library against a trace file
+// from the command line — the "operator console" for the simulator.
+//
+//   reco_sim_cli single <trace> [--coflow=K] [--algo=reco-sin|solstice|bvn|tms|sunflow]
+//                       [--delta=SEC] [--model=all-stop|not-all-stop] [--gantt]
+//   reco_sim_cli multi  <trace> [--algo=reco-mul|lp-ii-gb|sebf-solstice]
+//                       [--delta=SEC] [--c=C] [--csv=FILE]
+//   reco_sim_cli online <trace> [--policy=epoch|replan|fifo] [--delta=SEC] [--c=C]
+//
+// Traces come from `trace_tool gen` (reco-trace format) or, with --fb, any
+// file in the public Coflow-Benchmark format (the paper's FB2010 trace).
+// --jitter=F / --retries=P inject reconfiguration faults (single mode).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/lower_bound.hpp"
+#include "ocs/all_stop_executor.hpp"
+#include "ocs/not_all_stop_executor.hpp"
+#include "sched/bvn_baseline.hpp"
+#include "sched/multi_baselines.hpp"
+#include "sched/online.hpp"
+#include "sched/reco_sin.hpp"
+#include "sched/solstice.hpp"
+#include "sched/sunflow.hpp"
+#include "sched/tms.hpp"
+#include "stats/analysis.hpp"
+#include "stats/csv.hpp"
+#include "stats/summary.hpp"
+#include "sim/fabric.hpp"
+#include "trace/fb_format.hpp"
+#include "trace/serialization.hpp"
+
+namespace {
+
+using namespace reco;
+
+struct Args {
+  std::string command;
+  std::string trace_path;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  if (argc >= 3 && argv[2][0] != '-') a.trace_path = argv[2];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      a.options[arg.substr(2)] = "1";
+    } else {
+      a.options[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  reco_sim_cli single <trace> [--coflow=K] [--algo=A] [--delta=S]\n"
+               "               [--model=all-stop|not-all-stop] [--gantt]\n"
+               "  reco_sim_cli multi  <trace> [--algo=A] [--delta=S] [--c=C] [--csv=F]\n"
+               "  reco_sim_cli online <trace> [--policy=epoch|fifo] [--delta=S] [--c=C]\n");
+  return 2;
+}
+
+int run_single(const Args& args, const std::vector<Coflow>& coflows) {
+  const int k = static_cast<int>(args.get_double("coflow", 0));
+  if (k < 0 || k >= static_cast<int>(coflows.size())) {
+    std::fprintf(stderr, "coflow index %d out of range (0..%zu)\n", k, coflows.size() - 1);
+    return 1;
+  }
+  const Matrix& d = coflows[k].demand;
+  const Time delta = args.get_double("delta", 100e-6);
+  const std::string algo = args.get("algo", "reco-sin");
+  const std::string model = args.get("model", "all-stop");
+
+  std::printf("coflow %d: %dx%d fabric, %d flows, rho=%g s, tau=%d, LB=%g s\n", k, d.n(), d.n(),
+              d.nnz(), d.rho(), d.tau(), single_coflow_lower_bound(d, delta));
+
+  if (algo == "sunflow") {
+    const SunflowResult r = sunflow(d, delta);
+    std::printf("sunflow (not-all-stop native): CCT=%g s, %d circuits\n", r.cct,
+                r.reconfigurations);
+    return 0;
+  }
+
+  CircuitSchedule schedule;
+  if (algo == "reco-sin") {
+    schedule = reco_sin(d, delta);
+  } else if (algo == "solstice") {
+    schedule = solstice(d);
+  } else if (algo == "bvn") {
+    schedule = bvn_baseline(d);
+  } else if (algo == "tms") {
+    schedule = tms_schedule(d, delta);
+  } else {
+    std::fprintf(stderr, "unknown --algo=%s\n", algo.c_str());
+    return 2;
+  }
+
+  ExecutionResult r;
+  if (args.has("jitter") || args.has("retries")) {
+    sim::FaultModel faults;
+    faults.jitter_fraction = args.get_double("jitter", 0.0);
+    faults.retry_probability = args.get_double("retries", 0.0);
+    sim::ReplayController controller(schedule);
+    const sim::SimulationReport rep = sim::simulate_single_coflow(controller, d, delta, faults);
+    r.cct = rep.cct;
+    r.transmission_time = rep.transmission_time;
+    r.reconfigurations = rep.reconfigurations;
+    r.satisfied = rep.satisfied;
+    r.residual = Matrix(d.n());
+    std::printf("fault model: jitter %.0f%%, retry probability %.0f%% "
+                "(event-driven all-stop fabric; --model ignored)\n",
+                100 * faults.jitter_fraction, 100 * faults.retry_probability);
+  } else {
+    r = model == "not-all-stop" ? execute_not_all_stop(schedule, d, delta)
+                                : execute_all_stop(schedule, d, delta);
+  }
+  std::printf("%s on %s OCS: CCT=%g s (transmit %g + %d reconfigs x %g)%s\n", algo.c_str(),
+              model.c_str(), r.cct, r.transmission_time, r.reconfigurations, delta,
+              r.satisfied ? "" : "  [DEMAND NOT SATISFIED]");
+
+  const TimeBreakdown b = analyze_time_breakdown(schedule, d, delta);
+  std::printf("stranded port time: %g port-seconds\n", b.stranded_port_time);
+
+  if (args.has("gantt")) {
+    SliceSchedule slices;
+    execute_all_stop(schedule, d, delta, 0.0, k, &slices);
+    std::printf("\n%s", render_gantt(slices, d.n()).c_str());
+  }
+  return r.satisfied ? 0 : 1;
+}
+
+int run_multi(const Args& args, const std::vector<Coflow>& coflows) {
+  const Time delta = args.get_double("delta", 100e-6);
+  const double c = args.get_double("c", 4.0);
+  const std::string algo = args.get("algo", "reco-mul");
+
+  MultiScheduleResult r;
+  if (algo == "reco-mul") {
+    r = reco_mul_pipeline(coflows, delta, c);
+  } else if (algo == "lp-ii-gb") {
+    r = lp_ii_gb(coflows, delta);
+  } else if (algo == "sebf-solstice") {
+    r = sebf_solstice(coflows, delta);
+  } else {
+    std::fprintf(stderr, "unknown --algo=%s\n", algo.c_str());
+    return 2;
+  }
+
+  std::vector<double> cct(r.cct.begin(), r.cct.end());
+  std::printf("%s: %zu coflows, sum w*CCT=%g, avg CCT=%g s, p95=%g s, %d reconfigs\n",
+              algo.c_str(), coflows.size(), r.total_weighted_cct, mean(cct),
+              percentile(cct, 95), r.reconfigurations);
+
+  if (args.has("csv")) {
+    std::ofstream out(args.get("csv", ""));
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", args.get("csv", "").c_str());
+      return 1;
+    }
+    write_slices_csv(out, r.schedule);
+    std::printf("wrote %zu slices to %s\n", r.schedule.size(), args.get("csv", "").c_str());
+  }
+  return 0;
+}
+
+int run_online(const Args& args, const std::vector<Coflow>& coflows) {
+  OnlineOptions o;
+  o.delta = args.get_double("delta", 100e-6);
+  o.c_threshold = args.get_double("c", 4.0);
+  const std::string policy_name = args.get("policy", "epoch");
+  const OnlinePolicy policy = policy_name == "fifo"     ? OnlinePolicy::kFifoRecoSin
+                              : policy_name == "replan" ? OnlinePolicy::kDrainReplanRecoMul
+                                                        : OnlinePolicy::kEpochRecoMul;
+  const OnlineScheduleResult r = schedule_online(coflows, policy, o);
+  std::vector<double> cct(r.cct.begin(), r.cct.end());
+  std::printf("online/%s: sum w*CCT=%g, avg CCT=%g s, %d reconfigs, %d epochs\n",
+              policy_name.c_str(), r.total_weighted_cct, mean(cct), r.reconfigurations,
+              r.epochs);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command.empty() || args.trace_path.empty()) return usage();
+  try {
+    int ports = 0;
+    const std::vector<Coflow> coflows =
+        args.has("fb") ? load_fb_trace(args.trace_path, ports) : load_trace(args.trace_path, ports);
+    if (coflows.empty()) {
+      std::fprintf(stderr, "empty trace\n");
+      return 1;
+    }
+    if (args.command == "single") return run_single(args, coflows);
+    if (args.command == "multi") return run_multi(args, coflows);
+    if (args.command == "online") return run_online(args, coflows);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

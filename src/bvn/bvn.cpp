@@ -1,0 +1,128 @@
+#include "bvn/bvn.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "matching/bottleneck.hpp"
+#include "matching/incremental_matcher.hpp"
+
+namespace reco {
+
+namespace {
+
+/// Support-only threshold: any positive entry counts as an edge.
+constexpr double kSupportThreshold = 2 * kTimeEps;
+
+/// Extract one assignment from the current matcher state: coefficient is
+/// the minimum entry along the perfect matching; subtract it everywhere.
+CircuitAssignment extract_and_subtract(Matrix& m, IncrementalMatcher& matcher, int& nnz_left) {
+  const int n = m.n();
+  double coefficient = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    coefficient = std::min(coefficient, m.at(i, matcher.matched_col(i)));
+  }
+  CircuitAssignment a;
+  a.duration = coefficient;
+  a.circuits.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const int j = matcher.matched_col(i);
+    a.circuits.push_back({i, j});
+    const double before = m.at(i, j);
+    m.at(i, j) = clamp_zero(before - coefficient);
+    if (approx_zero(m.at(i, j)) && !approx_zero(before)) --nnz_left;
+    matcher.on_entry_changed(i, j);
+  }
+  return a;
+}
+
+CircuitSchedule peel(Matrix m, double initial_threshold, bool halve_on_failure) {
+  const int n = m.n();
+  CircuitSchedule schedule;
+  int nnz_left = m.nnz();
+  IncrementalMatcher matcher(m, initial_threshold);
+  while (nnz_left > 0) {
+    matcher.rematch();
+    if (matcher.is_perfect()) {
+      schedule.assignments.push_back(extract_and_subtract(m, matcher, nnz_left));
+      continue;
+    }
+    if (!halve_on_failure || matcher.threshold() <= kSupportThreshold) {
+      // Exact Birkhoff structure guarantees a perfect matching on the
+      // support, but after thousands of floating-point subtractions the
+      // row/column sums drift apart by round-off and the guarantee breaks
+      // for the last tolerance-scale crumbs.  Cover them instead of looping.
+      const CircuitSchedule tail = cover_decompose(std::move(m));
+      for (const auto& a : tail.assignments) schedule.assignments.push_back(a);
+      break;
+    }
+    const double next = matcher.threshold() / 2.0;
+    matcher.set_threshold(next > kSupportThreshold ? next : kSupportThreshold);
+  }
+  (void)n;
+  return schedule;
+}
+
+CircuitSchedule peel_exact_bottleneck(Matrix m) {
+  CircuitSchedule schedule;
+  while (m.nnz() > 0) {
+    const auto match = bottleneck_perfect_matching(m);
+    if (!match) {
+      // Same round-off escape hatch as peel(): see the comment there.
+      const CircuitSchedule tail = cover_decompose(std::move(m));
+      for (const auto& a : tail.assignments) schedule.assignments.push_back(a);
+      break;
+    }
+    CircuitAssignment a;
+    a.duration = match->bottleneck;
+    a.circuits.reserve(match->pairs.size());
+    for (const auto& [i, j] : match->pairs) {
+      a.circuits.push_back({i, j});
+      m.at(i, j) = clamp_zero(m.at(i, j) - match->bottleneck);
+    }
+    schedule.assignments.push_back(std::move(a));
+  }
+  return schedule;
+}
+
+}  // namespace
+
+CircuitSchedule cover_decompose(Matrix m) {
+  CircuitSchedule schedule;
+  while (m.nnz() > 0) {
+    const MatchingResult match = threshold_matching(m, kSupportThreshold);
+    CircuitAssignment a;
+    for (int i = 0; i < m.n(); ++i) {
+      const int j = match.match_left[i];
+      if (j == -1) continue;
+      a.duration = std::max(a.duration, m.at(i, j));
+      a.circuits.push_back({i, j});
+      m.at(i, j) = 0.0;
+    }
+    if (a.circuits.empty()) break;  // unreachable: nnz>0 implies a matchable edge
+    schedule.assignments.push_back(std::move(a));
+  }
+  return schedule;
+}
+
+CircuitSchedule bvn_decompose(Matrix m, BvnPolicy policy) {
+  if (!m.is_doubly_stochastic(kTimeEps * std::max(1, m.n()))) {
+    throw std::invalid_argument("bvn_decompose: matrix is not doubly stochastic");
+  }
+  if (m.n() == 0 || m.nnz() == 0) return {};
+  switch (policy) {
+    case BvnPolicy::kFirstMatching:
+      return peel(std::move(m), kSupportThreshold, /*halve_on_failure=*/false);
+    case BvnPolicy::kMaxMinAmortized: {
+      // Start at the smallest power of two >= the max entry; halve until a
+      // perfect matching exists, extract, repeat.
+      const double start = std::exp2(std::ceil(std::log2(m.max_entry())));
+      return peel(std::move(m), start, /*halve_on_failure=*/true);
+    }
+    case BvnPolicy::kExactBottleneck:
+      return peel_exact_bottleneck(std::move(m));
+  }
+  throw std::logic_error("bvn_decompose: unknown policy");
+}
+
+}  // namespace reco

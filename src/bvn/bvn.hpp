@@ -1,0 +1,46 @@
+// Birkhoff-von-Neumann decomposition of a doubly stochastic matrix into
+// permutation matrices with coefficients — equivalently, into a circuit
+// scheduling (each permutation is a circuit establishment, its coefficient
+// the planned duration).  Three extraction policies:
+//
+//  * kFirstMatching   — classic Birkhoff peeling: any perfect matching on
+//                       the nonzero support, coefficient = its min entry.
+//                       This is the Theorem-1 strawman and LP-II-GB's
+//                       intra-coflow method.
+//  * kMaxMinAmortized — descending power-of-two threshold with incremental
+//                       matching repair; extracts matchings whose min entry
+//                       is within 2x of the true bottleneck optimum at
+//                       amortized near-linear cost.  This is the "max-min
+//                       matching similar to [7]" of Alg. 1, and the policy
+//                       Reco-Sin uses by default.
+//  * kExactBottleneck — true max-min matching each round (binary search +
+//                       Hopcroft-Karp); exact but a log-factor slower.
+//                       Used by tests and ablations.
+#pragma once
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+
+namespace reco {
+
+enum class BvnPolicy {
+  kFirstMatching,
+  kMaxMinAmortized,
+  kExactBottleneck,
+};
+
+/// Decompose `m` (must be doubly stochastic; throws otherwise) into a
+/// circuit schedule whose service matrix equals `m` exactly.
+/// Terminates in at most nnz(m) rounds: every extracted coefficient zeroes
+/// at least one entry.
+CircuitSchedule bvn_decompose(Matrix m, BvnPolicy policy);
+
+/// Cover an arbitrary non-negative matrix with matchings: each round takes
+/// a maximum matching on the nonzero support and holds it for the largest
+/// matched entry, zeroing everything matched.  The service matrix *covers*
+/// (>=) the input rather than equaling it.  Needs no Birkhoff structure;
+/// used to finish the tolerance-scale residue that floating-point slicing
+/// leaves behind, and usable on its own as a crude scheduler.
+CircuitSchedule cover_decompose(Matrix m);
+
+}  // namespace reco

@@ -1,0 +1,34 @@
+#include "bvn/regularization.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace reco {
+
+namespace {
+double round_up_to_quantum(double x, double quantum) {
+  // Entries already sitting on a multiple of the quantum (up to simulation
+  // tolerance) must not be bumped a full quantum higher.
+  const double k = std::ceil(x / quantum - kTimeEps);
+  return std::max(1.0, k) * quantum;
+}
+}  // namespace
+
+Matrix regularize(const Matrix& demand, Time quantum) {
+  if (quantum <= 0.0) throw std::invalid_argument("regularize: quantum must be positive");
+  Matrix out(demand.n());
+  for (int i = 0; i < demand.n(); ++i) {
+    for (int j = 0; j < demand.n(); ++j) {
+      const double d = demand.at(i, j);
+      if (!approx_zero(d)) out.at(i, j) = round_up_to_quantum(d, quantum);
+    }
+  }
+  return out;
+}
+
+Time regularization_overhead(const Matrix& demand, Time quantum) {
+  const Matrix reg = regularize(demand, quantum);
+  return reg.total() - demand.total();
+}
+
+}  // namespace reco

@@ -1,0 +1,20 @@
+// Regularization on traffic demands (Sec. III-B): round every nonzero entry
+// up to the next integer multiple of the reconfiguration delay delta.  The
+// resulting matrix is delta-granular, so every BvN coefficient extracted
+// from it is >= delta — the structural fact behind Lemma 1 and Theorem 2.
+#pragma once
+
+#include "core/matrix.hpp"
+#include "core/types.hpp"
+
+namespace reco {
+
+/// d_ij -> ceil(d_ij / quantum) * quantum for nonzero entries; zeros stay
+/// zero (regularization only inflates existing demands, footnote 5).
+Matrix regularize(const Matrix& demand, Time quantum);
+
+/// The total inflation added by regularization (sum of the per-entry
+/// round-ups); bounded by nnz(D) * quantum.
+Time regularization_overhead(const Matrix& demand, Time quantum);
+
+}  // namespace reco

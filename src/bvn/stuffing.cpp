@@ -1,0 +1,42 @@
+#include "bvn/stuffing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace reco {
+
+Matrix stuff(const Matrix& demand, Time target) {
+  const int n = demand.n();
+  Matrix out = demand;
+  const Time goal = std::max(demand.rho(), target);
+  std::vector<Time> row_slack(n);
+  std::vector<Time> col_slack(n);
+  for (int i = 0; i < n; ++i) row_slack[i] = clamp_zero(goal - demand.row_sum(i));
+  for (int j = 0; j < n; ++j) col_slack[j] = clamp_zero(goal - demand.col_sum(j));
+
+  // Greedy transportation fill: the bipartite slack-supply problem always
+  // has a feasible integral-structure solution because sum(row_slack) ==
+  // sum(col_slack) == n*goal - total(demand).
+  for (int i = 0; i < n; ++i) {
+    if (approx_zero(row_slack[i])) continue;
+    for (int j = 0; j < n && !approx_zero(row_slack[i]); ++j) {
+      const Time add = std::min(row_slack[i], col_slack[j]);
+      if (approx_zero(add)) continue;
+      out.at(i, j) += add;
+      row_slack[i] = clamp_zero(row_slack[i] - add);
+      col_slack[j] = clamp_zero(col_slack[j] - add);
+    }
+  }
+  return out;
+}
+
+Matrix stuff_granular(const Matrix& demand, Time quantum) {
+  if (quantum <= 0.0) throw std::invalid_argument("stuff_granular: quantum must be positive");
+  const Time rho = demand.rho();
+  const Time goal = std::max(1.0, std::ceil(rho / quantum - kTimeEps)) * quantum;
+  return stuff(demand, goal);
+}
+
+}  // namespace reco

@@ -1,0 +1,22 @@
+// Stuffing (Sec. III-A): pad a demand matrix with phantom demand until it
+// is doubly stochastic (all row and column sums equal), the precondition of
+// Birkhoff's theorem.  Solstice calls the same operation QuickStuff.
+#pragma once
+
+#include "core/matrix.hpp"
+#include "core/types.hpp"
+
+namespace reco {
+
+/// Pad `demand` so every row and column sums to max(rho(demand), target).
+/// Greedy slack-filling: always succeeds because total row slack equals
+/// total column slack at any common target >= rho.
+Matrix stuff(const Matrix& demand, Time target = 0.0);
+
+/// Stuff to the smallest multiple of `quantum` that is >= rho(demand).
+/// When `demand` is already quantum-granular (post-regularization), every
+/// stuffed amount — and hence every future BvN coefficient — is a multiple
+/// of the quantum.  This is the Reco-Sin stuffing step (Alg. 1 Line 4).
+Matrix stuff_granular(const Matrix& demand, Time quantum);
+
+}  // namespace reco

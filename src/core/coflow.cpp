@@ -1,0 +1,67 @@
+#include "core/coflow.hpp"
+
+namespace reco {
+
+std::string_view to_string(TransmissionMode mode) {
+  switch (mode) {
+    case TransmissionMode::kS2S: return "S2S";
+    case TransmissionMode::kS2M: return "S2M";
+    case TransmissionMode::kM2S: return "M2S";
+    case TransmissionMode::kM2M: return "M2M";
+  }
+  return "?";
+}
+
+std::string_view to_string(DensityClass cls) {
+  switch (cls) {
+    case DensityClass::kSparse: return "sparse";
+    case DensityClass::kNormal: return "normal";
+    case DensityClass::kDense: return "dense";
+  }
+  return "?";
+}
+
+int Coflow::width_in() const {
+  int w = 0;
+  for (int i = 0; i < demand.n(); ++i) {
+    if (!approx_zero(demand.row_sum(i))) ++w;
+  }
+  return w;
+}
+
+int Coflow::width_out() const {
+  int w = 0;
+  for (int j = 0; j < demand.n(); ++j) {
+    if (!approx_zero(demand.col_sum(j))) ++w;
+  }
+  return w;
+}
+
+TransmissionMode Coflow::mode() const {
+  const bool multi_in = width_in() > 1;
+  const bool multi_out = width_out() > 1;
+  if (multi_in && multi_out) return TransmissionMode::kM2M;
+  if (multi_in) return TransmissionMode::kM2S;
+  if (multi_out) return TransmissionMode::kS2M;
+  return TransmissionMode::kS2S;
+}
+
+DensityClass classify_density(double ds) {
+  if (ds <= 0.05) return DensityClass::kSparse;
+  if (ds <= 0.5) return DensityClass::kNormal;
+  return DensityClass::kDense;
+}
+
+DensityClass Coflow::density_class() const {
+  return classify_density(demand.density());
+}
+
+std::vector<int> indices_of_class(const std::vector<Coflow>& coflows, DensityClass cls) {
+  std::vector<int> out;
+  for (int k = 0; k < static_cast<int>(coflows.size()); ++k) {
+    if (coflows[k].density_class() == cls) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace reco

@@ -1,0 +1,10 @@
+#include "core/lower_bound.hpp"
+
+namespace reco {
+
+Time single_coflow_lower_bound(const Matrix& demand, Time delta) {
+  if (demand.nnz() == 0) return 0.0;
+  return demand.rho() + static_cast<Time>(demand.tau()) * delta;
+}
+
+}  // namespace reco

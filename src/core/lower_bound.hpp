@@ -1,0 +1,17 @@
+// The single-coflow CCT lower bound used throughout the evaluation:
+// T_lb = rho + tau * delta (Sec. V-B, baseline 1; proof inside Theorem 2).
+#pragma once
+
+#include "core/matrix.hpp"
+#include "core/types.hpp"
+
+namespace reco {
+
+/// Theoretical lower bound on the CCT of a single coflow in an all-stop OCS
+/// with reconfiguration delay `delta`:
+///   rho(D)   — some port must carry its whole load at unit bandwidth;
+///   tau(D)*delta — some port needs tau distinct circuits, each preceded by
+///                  a reconfiguration.
+Time single_coflow_lower_bound(const Matrix& demand, Time delta);
+
+}  // namespace reco

@@ -1,0 +1,45 @@
+// Fundamental scalar types and numeric tolerances shared by every module.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace reco {
+
+/// Simulated wall-clock time / data volume, in seconds (bandwidth is
+/// normalized to 1, so "seconds of transmission" and "data amount" are the
+/// same quantity, exactly as in the paper's Sec. II-A).
+using Time = double;
+
+/// Index of an ingress or egress port of the OCS fabric.
+using PortId = std::int32_t;
+
+/// Index of a coflow within a workload.
+using CoflowId = std::int32_t;
+
+/// Absolute tolerance for comparing simulated times / demands.  The smallest
+/// meaningful quantum in any experiment is the reconfiguration delay
+/// (>= 1 microsecond = 1e-6 s); 1e-9 is three orders of magnitude below it
+/// and far above double round-off accumulated over ~1e5 schedule steps.
+inline constexpr double kTimeEps = 1e-9;
+
+/// True iff |x| is indistinguishable from zero at simulation granularity.
+inline bool approx_zero(double x) { return std::abs(x) < kTimeEps; }
+
+/// True iff a and b are indistinguishable at simulation granularity.
+inline bool approx_eq(double a, double b) { return std::abs(a - b) < kTimeEps; }
+
+/// True iff a <= b up to simulation granularity.
+inline bool approx_le(double a, double b) { return a <= b + kTimeEps; }
+
+/// Snap tiny negative round-off results of subtraction chains to exact zero.
+inline double clamp_zero(double x) { return approx_zero(x) ? 0.0 : x; }
+
+/// Minimum residual demand worth establishing a circuit for.  Physically: a
+/// few nanoseconds at 100 Gb/s is bytes of traffic — no OCS reconfigures
+/// for that, and numerically it is the scale of round-off accumulated by
+/// long subtraction chains (binary slicing, BvN peeling).  Executors treat
+/// residuals below this as served.
+inline constexpr double kMinServiceQuantum = 64 * kTimeEps;
+
+}  // namespace reco

@@ -1,0 +1,43 @@
+// Interval-indexed LP relaxation for multi-coflow ordering, after
+// Qiu-Stein-Zhong (SPAA'15) — the core of the LP-II-GB baseline (Sec. V-B).
+//
+// Geometric time intervals tau_0 < tau_1 < ... < tau_T; variable x_{k,t}
+// is the fraction of coflow k that completes within interval t:
+//   min  sum_k w_k * sum_t tau_{t-1} x_{k,t}
+//   s.t. sum_t x_{k,t} = 1                       for every coflow k
+//        sum_k L_p(k) * sum_{s<=t} x_{k,s} <= tau_t   for every port p, t
+//        x_{k,t} = 0 whenever tau_t < rho_k     (can't beat own bottleneck)
+// The fractional completion estimate C_k = sum_t tau_t x_{k,t} induces the
+// scheduling order.
+#pragma once
+
+#include <vector>
+
+#include "core/coflow.hpp"
+#include "lp/simplex.hpp"
+
+namespace reco::lp {
+
+struct IntervalLpOptions {
+  double geometric_ratio = 2.0;  ///< tau_{t+1} / tau_t
+  long max_iters = 0;            ///< 0 = size-based default
+  /// Refuse to build instances beyond this many x_{k,t} variables (the
+  /// dense simplex would be impractically slow); the caller is expected to
+  /// fall back to a combinatorial ordering.  Returns kIterLimit status.
+  int max_variables = 6000;
+};
+
+struct IntervalLpResult {
+  SolveStatus status = SolveStatus::kIterLimit;
+  /// Fractional completion-time estimate per coflow (same indexing as the
+  /// input vector).  Only meaningful when status == kOptimal.
+  std::vector<double> est_completion;
+  /// Interval right endpoints tau_1..tau_T actually used.
+  std::vector<double> interval_ends;
+};
+
+/// Build and solve the relaxation for the given coflows.
+IntervalLpResult solve_interval_indexed_lp(const std::vector<Coflow>& coflows,
+                                           const IntervalLpOptions& options = {});
+
+}  // namespace reco::lp

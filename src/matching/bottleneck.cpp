@@ -1,0 +1,50 @@
+#include "matching/bottleneck.hpp"
+
+#include <algorithm>
+
+#include "matching/hopcroft_karp.hpp"
+
+namespace reco {
+
+std::optional<BottleneckMatching> bottleneck_perfect_matching(const Matrix& m) {
+  // Distinct nonzero values, ascending.
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(m.n()) * m.n());
+  for (int i = 0; i < m.n(); ++i) {
+    for (int j = 0; j < m.n(); ++j) {
+      const double x = m.at(i, j);
+      if (!approx_zero(x)) values.push_back(x);
+    }
+  }
+  if (values.empty()) return std::nullopt;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end(),
+                           [](double a, double b) { return approx_eq(a, b); }),
+               values.end());
+
+  // A perfect matching must exist at the smallest nonzero threshold.
+  if (!has_perfect_matching_at(m, values.front())) return std::nullopt;
+
+  // Binary search for the largest threshold still admitting a perfect
+  // matching.  Invariant: feasible at values[lo], infeasible at values[hi].
+  std::size_t lo = 0;
+  std::size_t hi = values.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (has_perfect_matching_at(m, values[mid])) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  const double best = values[lo];
+  const MatchingResult r = threshold_matching(m, best);
+  BottleneckMatching out;
+  out.bottleneck = best;
+  out.pairs.reserve(m.n());
+  for (int i = 0; i < m.n(); ++i) out.pairs.emplace_back(i, r.match_left[i]);
+  return out;
+}
+
+}  // namespace reco

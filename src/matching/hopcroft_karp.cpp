@@ -1,0 +1,89 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace reco {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+
+/// Layered BFS from all free left vertices; returns true if an augmenting
+/// path exists.  dist[] receives BFS layers for the DFS phase.
+bool bfs_layers(const std::vector<std::vector<int>>& adj, const std::vector<int>& match_left,
+                const std::vector<int>& match_right, std::vector<int>& dist) {
+  std::queue<int> q;
+  for (std::size_t u = 0; u < adj.size(); ++u) {
+    if (match_left[u] == -1) {
+      dist[u] = 0;
+      q.push(static_cast<int>(u));
+    } else {
+      dist[u] = kInf;
+    }
+  }
+  bool found = false;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int v : adj[u]) {
+      const int w = match_right[v];
+      if (w == -1) {
+        found = true;
+      } else if (dist[w] == kInf) {
+        dist[w] = dist[u] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return found;
+}
+
+bool dfs_augment(int u, const std::vector<std::vector<int>>& adj, std::vector<int>& match_left,
+                 std::vector<int>& match_right, std::vector<int>& dist) {
+  for (int v : adj[u]) {
+    const int w = match_right[v];
+    if (w == -1 || (dist[w] == dist[u] + 1 && dfs_augment(w, adj, match_left, match_right, dist))) {
+      match_left[u] = v;
+      match_right[v] = u;
+      return true;
+    }
+  }
+  dist[u] = kInf;  // dead end: prune for this phase
+  return false;
+}
+}  // namespace
+
+MatchingResult hopcroft_karp(int n_left, int n_right, const std::vector<std::vector<int>>& adj) {
+  MatchingResult r;
+  r.match_left.assign(n_left, -1);
+  r.match_right.assign(n_right, -1);
+  std::vector<int> dist(n_left);
+  while (bfs_layers(adj, r.match_left, r.match_right, dist)) {
+    for (int u = 0; u < n_left; ++u) {
+      if (r.match_left[u] == -1) {
+        if (dfs_augment(u, adj, r.match_left, r.match_right, dist)) ++r.size;
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<std::vector<int>> threshold_adjacency(const Matrix& m, double threshold) {
+  std::vector<std::vector<int>> adj(m.n());
+  for (int i = 0; i < m.n(); ++i) {
+    for (int j = 0; j < m.n(); ++j) {
+      if (m.at(i, j) >= threshold - kTimeEps) adj[i].push_back(j);
+    }
+  }
+  return adj;
+}
+
+MatchingResult threshold_matching(const Matrix& m, double threshold) {
+  return hopcroft_karp(m.n(), m.n(), threshold_adjacency(m, threshold));
+}
+
+bool has_perfect_matching_at(const Matrix& m, double threshold) {
+  return threshold_matching(m, threshold).size == m.n();
+}
+
+}  // namespace reco

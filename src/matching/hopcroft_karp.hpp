@@ -1,0 +1,41 @@
+// Hopcroft-Karp maximum bipartite matching, plus matrix-threshold helpers.
+//
+// Circuit establishments in an OCS are matchings between ingress and egress
+// ports (Sec. II-A); every decomposition algorithm in this repo reduces to
+// repeated bipartite matching over the support {(i,j) : d_ij >= threshold}.
+#pragma once
+
+#include <vector>
+
+#include "core/matrix.hpp"
+
+namespace reco {
+
+/// Result of a maximum-matching computation on an n_left x n_right graph.
+struct MatchingResult {
+  /// match_left[i] = matched right vertex of i, or -1.
+  std::vector<int> match_left;
+  /// match_right[j] = matched left vertex of j, or -1.
+  std::vector<int> match_right;
+  int size = 0;
+
+  bool is_perfect() const {
+    return size == static_cast<int>(match_left.size()) &&
+           size == static_cast<int>(match_right.size());
+  }
+};
+
+/// Maximum matching of the bipartite graph given by adjacency lists
+/// (adj[i] = right neighbours of left vertex i).  O(E * sqrt(V)).
+MatchingResult hopcroft_karp(int n_left, int n_right, const std::vector<std::vector<int>>& adj);
+
+/// Adjacency of the support {(i,j) : m(i,j) >= threshold - eps}.
+std::vector<std::vector<int>> threshold_adjacency(const Matrix& m, double threshold);
+
+/// Maximum matching restricted to entries >= threshold.
+MatchingResult threshold_matching(const Matrix& m, double threshold);
+
+/// True iff a perfect matching exists using only entries >= threshold.
+bool has_perfect_matching_at(const Matrix& m, double threshold);
+
+}  // namespace reco

@@ -1,0 +1,78 @@
+#include "matching/hungarian.hpp"
+
+#include <limits>
+
+namespace reco {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+AssignmentResult min_cost_assignment(const Matrix& cost) {
+  // Classic potentials formulation with 1-based sentinel row/column 0.
+  const int n = cost.n();
+  std::vector<double> u(n + 1, 0.0);   // row potentials
+  std::vector<double> v(n + 1, 0.0);   // column potentials
+  std::vector<int> p(n + 1, 0);        // p[j] = row matched to column j
+  std::vector<int> way(n + 1, 0);      // back-pointers along the alternating tree
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost.at(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult r;
+  r.col_of_row.assign(n, -1);
+  for (int j = 1; j <= n; ++j) {
+    if (p[j] != 0) r.col_of_row[p[j] - 1] = j - 1;
+  }
+  for (int i = 0; i < n; ++i) r.total += cost.at(i, r.col_of_row[i]);
+  return r;
+}
+
+AssignmentResult max_weight_assignment(const Matrix& weight) {
+  const int n = weight.n();
+  Matrix neg(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) neg.at(i, j) = -weight.at(i, j);
+  }
+  AssignmentResult r = min_cost_assignment(neg);
+  r.total = -r.total;
+  return r;
+}
+
+}  // namespace reco

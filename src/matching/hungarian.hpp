@@ -1,0 +1,26 @@
+// Hungarian algorithm (Kuhn-Munkres, O(n^3) potentials formulation) for
+// dense assignment.  Used by the Helios/Edmonds-style "max total weight
+// circuit selection" ablation and as an oracle in tests.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/matrix.hpp"
+
+namespace reco {
+
+struct AssignmentResult {
+  /// col_of_row[i] = column assigned to row i (always a full assignment).
+  std::vector<int> col_of_row;
+  /// Total weight of the selected entries.
+  double total = 0.0;
+};
+
+/// Minimum-cost full assignment on the dense cost matrix.
+AssignmentResult min_cost_assignment(const Matrix& cost);
+
+/// Maximum-weight full assignment (negated min-cost).
+AssignmentResult max_weight_assignment(const Matrix& weight);
+
+}  // namespace reco

@@ -1,0 +1,67 @@
+#include "matching/incremental_matcher.hpp"
+
+namespace reco {
+
+IncrementalMatcher::IncrementalMatcher(const Matrix& matrix, double threshold)
+    : matrix_(&matrix),
+      threshold_(threshold),
+      n_(matrix.n()),
+      match_left_(matrix.n(), -1),
+      match_right_(matrix.n(), -1),
+      visited_(matrix.n(), 0) {}
+
+void IncrementalMatcher::set_threshold(double threshold) {
+  const bool raised = threshold > threshold_;
+  threshold_ = threshold;
+  if (!raised) return;
+  for (int i = 0; i < n_; ++i) {
+    const int j = match_left_[i];
+    if (j != -1 && !edge_present(i, j)) {
+      match_left_[i] = -1;
+      match_right_[j] = -1;
+      --size_;
+    }
+  }
+}
+
+void IncrementalMatcher::on_entry_changed(int i, int j) {
+  if (match_left_[i] == j && !edge_present(i, j)) {
+    match_left_[i] = -1;
+    match_right_[j] = -1;
+    --size_;
+  }
+}
+
+bool IncrementalMatcher::try_augment(int row) {
+  for (int j = 0; j < n_; ++j) {
+    if (visited_[j] == stamp_ || !edge_present(row, j)) continue;
+    visited_[j] = stamp_;
+    const int other = match_right_[j];
+    if (other == -1 || try_augment(other)) {
+      match_left_[row] = j;
+      match_right_[j] = row;
+      return true;
+    }
+  }
+  return false;
+}
+
+int IncrementalMatcher::rematch() {
+  for (int i = 0; i < n_; ++i) {
+    if (match_left_[i] != -1) continue;
+    ++stamp_;
+    if (try_augment(i)) ++size_;
+  }
+  return size_;
+}
+
+std::vector<std::pair<int, int>> IncrementalMatcher::pairs() const {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(size_);
+  for (int i = 0; i < n_; ++i) {
+    if (match_left_[i] != -1) out.emplace_back(i, match_left_[i]);
+  }
+  return out;
+}
+
+}  // namespace reco

@@ -1,0 +1,49 @@
+#include "ocs/all_stop_executor.hpp"
+
+#include <algorithm>
+
+namespace reco {
+
+ExecutionResult execute_all_stop(const CircuitSchedule& schedule, const Matrix& demand,
+                                 Time delta, Time start_clock, CoflowId coflow_id,
+                                 SliceSchedule* out_slices) {
+  ExecutionResult r;
+  r.residual = demand;
+  Time clock = start_clock;
+
+  for (const CircuitAssignment& a : schedule.assignments) {
+    // Largest residual among this assignment's circuits decides whether the
+    // establishment is useful at all and how long it is actually held.
+    // Residuals under kMinServiceQuantum are already-served round-off
+    // crumbs: never worth a reconfiguration.
+    Time max_rem = 0.0;
+    for (const Circuit& c : a.circuits) {
+      const Time rem = r.residual.at(c.in, c.out);
+      if (rem >= kMinServiceQuantum) max_rem = std::max(max_rem, rem);
+    }
+    if (max_rem == 0.0) continue;  // nothing useful left: skip, no reconfig
+
+    clock += delta;
+    ++r.reconfigurations;
+    r.reconfiguration_time += delta;
+
+    const Time hold = std::min(a.duration, max_rem);
+    for (const Circuit& c : a.circuits) {
+      const Time rem = r.residual.at(c.in, c.out);
+      if (rem < kMinServiceQuantum) continue;  // crumb: not worth a circuit
+      const Time sent = std::min(hold, rem);
+      r.residual.at(c.in, c.out) = clamp_zero(rem - sent);
+      if (out_slices != nullptr) {
+        out_slices->push_back({clock, clock + sent, c.in, c.out, coflow_id});
+      }
+    }
+    clock += hold;
+    r.transmission_time += hold;
+  }
+
+  r.cct = clock - start_clock;
+  r.satisfied = r.residual.max_entry() < kMinServiceQuantum;
+  return r;
+}
+
+}  // namespace reco

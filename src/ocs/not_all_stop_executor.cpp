@@ -1,0 +1,51 @@
+#include "ocs/not_all_stop_executor.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace reco {
+
+ExecutionResult execute_not_all_stop(const CircuitSchedule& schedule, const Matrix& demand,
+                                     Time delta) {
+  ExecutionResult r;
+  r.residual = demand;
+  const int n = demand.n();
+
+  std::vector<Time> free_in(n, 0.0);
+  std::vector<Time> free_out(n, 0.0);
+  // Current circuit endpoint on each port (-1 = none yet).
+  std::vector<int> peer_of_in(n, -1);
+  std::vector<int> peer_of_out(n, -1);
+  Time cct = 0.0;
+
+  for (const CircuitAssignment& a : schedule.assignments) {
+    for (const Circuit& c : a.circuits) {
+      const Time rem = r.residual.at(c.in, c.out);
+      if (rem < kMinServiceQuantum) continue;  // round-off crumb: not worth a circuit
+
+      Time ready = std::max(free_in[c.in], free_out[c.out]);
+      const bool changed = peer_of_in[c.in] != c.out || peer_of_out[c.out] != c.in;
+      if (changed) {
+        ready += delta;
+        ++r.reconfigurations;
+        r.reconfiguration_time += delta;
+      }
+      const Time hold = std::min(a.duration, rem);
+      const Time end = ready + hold;
+
+      r.residual.at(c.in, c.out) = clamp_zero(rem - hold);
+      r.transmission_time += hold;
+      free_in[c.in] = end;
+      free_out[c.out] = end;
+      peer_of_in[c.in] = c.out;
+      peer_of_out[c.out] = c.in;
+      cct = std::max(cct, end);
+    }
+  }
+
+  r.cct = cct;
+  r.satisfied = r.residual.max_entry() < kMinServiceQuantum;
+  return r;
+}
+
+}  // namespace reco

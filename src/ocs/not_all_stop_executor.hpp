@@ -1,0 +1,27 @@
+// Not-all-stop OCS executor (Sec. VI discussion; Sunflow's switch model):
+// during a reconfiguration only the *affected* ports halt — circuits that
+// appear unchanged in consecutive assignments keep transmitting.
+//
+// Model: assignments are applied in order; each circuit (i, j) of
+// assignment u becomes ready at max(free_in[i], free_out[j]), plus delta if
+// either endpoint carried a *different* circuit before, and is then held
+// until its own residual demand finishes (per-circuit early stop) or the
+// planned duration expires.  This is a faithful flow-level rendering of
+// Sunflow's port-pair semantics for schedules expressed as assignment
+// sequences.
+#pragma once
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+#include "core/types.hpp"
+#include "ocs/all_stop_executor.hpp"
+
+namespace reco {
+
+/// Replay `schedule` against `demand` in the not-all-stop model.
+/// `reconfigurations` counts circuit set-ups that actually paid a delta
+/// (a circuit kept from the previous assignment pays nothing).
+ExecutionResult execute_not_all_stop(const CircuitSchedule& schedule, const Matrix& demand,
+                                     Time delta);
+
+}  // namespace reco

@@ -1,0 +1,88 @@
+#include "ocs/slice_executor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace reco {
+
+namespace {
+/// Number of batch times strictly below t (with tolerance).
+std::size_t count_below(const std::vector<Time>& batches, Time t) {
+  // upper_bound with tolerance: batches within eps of t count as == t.
+  std::size_t lo = 0;
+  std::size_t hi = batches.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (batches[mid] < t - kTimeEps) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Number of batch times <= t (with tolerance).
+std::size_t count_at_or_below(const std::vector<Time>& batches, Time t) {
+  std::size_t lo = 0;
+  std::size_t hi = batches.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (batches[mid] <= t + kTimeEps) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+}  // namespace
+
+SliceSchedule inflate_pseudo_time(const SliceSchedule& pseudo, Time delta) {
+  const std::vector<Time> batches = start_batches(pseudo);
+  SliceSchedule real;
+  real.reserve(pseudo.size());
+  for (const FlowSlice& s : pseudo) {
+    const Time start_shift = delta * static_cast<Time>(count_at_or_below(batches, s.start));
+    const Time end_shift = delta * static_cast<Time>(count_below(batches, s.end));
+    real.push_back({s.start + start_shift, s.end + end_shift, s.src, s.dst, s.coflow});
+  }
+  return real;
+}
+
+int count_reconfigurations(const SliceSchedule& schedule) {
+  return static_cast<int>(start_batches(schedule).size());
+}
+
+SliceSchedule realize_not_all_stop(const SliceSchedule& pseudo, Time delta) {
+  std::vector<std::size_t> order(pseudo.size());
+  for (std::size_t f = 0; f < order.size(); ++f) order[f] = f;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (pseudo[a].start != pseudo[b].start) return pseudo[a].start < pseudo[b].start;
+    return a < b;
+  });
+
+  std::map<PortId, Time> free_in;
+  std::map<PortId, Time> free_out;
+  SliceSchedule real(pseudo.size());
+  for (std::size_t f : order) {
+    const FlowSlice& s = pseudo[f];
+    const Time start = std::max({s.start, free_in[s.src], free_out[s.dst]}) + delta;
+    const Time end = start + s.duration();
+    real[f] = {start, end, s.src, s.dst, s.coflow};
+    free_in[s.src] = end;
+    free_out[s.dst] = end;
+  }
+  return real;
+}
+
+MultiExecutionStats analyze_schedule(const SliceSchedule& schedule, int num_coflows) {
+  MultiExecutionStats stats;
+  stats.cct = completion_times(schedule, num_coflows);
+  stats.reconfigurations = count_reconfigurations(schedule);
+  stats.makespan = makespan(schedule);
+  return stats;
+}
+
+}  // namespace reco

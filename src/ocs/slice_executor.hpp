@@ -1,0 +1,48 @@
+// Pseudo-time axis machinery for multi-coflow schedules (Alg. 2, Lines
+// 10-12).  A pseudo-time slice schedule ignores reconfiguration delay; the
+// all-stop OCS charges one delta per *start batch* (set of flows starting
+// at the same pseudo instant), and every in-flight flow is halted by each
+// batch that fires while it transmits.
+#pragma once
+
+#include <vector>
+
+#include "core/slice.hpp"
+#include "core/types.hpp"
+
+namespace reco {
+
+/// Map a pseudo-time schedule S-hat_o to real time S_o:
+///   start' = t1 + delta * |{batches s <= t1}|   (waits for its own batch's
+///                                                reconfiguration too)
+///   end'   = t2 + delta * |{batches s <  t2}|   (halted by every batch that
+///                                                fires before it finishes)
+/// Both shifts count the flow's own batch, so port feasibility is preserved
+/// (Lemma 2) and per-flow duration is stretched by exactly the number of
+/// mid-flight batches times delta (the all-stop halts).
+SliceSchedule inflate_pseudo_time(const SliceSchedule& pseudo, Time delta);
+
+/// Reconfigurations an all-stop OCS needs to run this schedule: one per
+/// distinct start batch (Alg. 2's eta over the full horizon).
+int count_reconfigurations(const SliceSchedule& schedule);
+
+/// Aggregate stats of a real-time multi-coflow schedule.
+struct MultiExecutionStats {
+  std::vector<Time> cct;  ///< per-coflow completion times (index = coflow id)
+  int reconfigurations = 0;
+  Time makespan = 0.0;
+};
+
+MultiExecutionStats analyze_schedule(const SliceSchedule& schedule, int num_coflows);
+
+/// Not-all-stop realization of a pseudo-time schedule (Sec. VI): each
+/// circuit pays its own per-port setup delta and nothing halts anybody
+/// else.  Slices are realized in pseudo-start order:
+///   real_start = max(pseudo_start, in_free, out_free) + delta
+/// so the port constraint holds by construction and priority (pseudo
+/// order) is preserved per port.  Start-time alignment buys nothing here —
+/// which is exactly why Theorem 3's not-all-stop extension only needs the
+/// transform's stretch bound, not its batching.
+SliceSchedule realize_not_all_stop(const SliceSchedule& pseudo, Time delta);
+
+}  // namespace reco

@@ -1,0 +1,13 @@
+#include "sched/bvn_baseline.hpp"
+
+#include "bvn/bvn.hpp"
+#include "bvn/stuffing.hpp"
+
+namespace reco {
+
+CircuitSchedule bvn_baseline(const Matrix& demand) {
+  if (demand.nnz() == 0) return {};
+  return bvn_decompose(stuff(demand), BvnPolicy::kFirstMatching);
+}
+
+}  // namespace reco

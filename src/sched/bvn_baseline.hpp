@@ -1,0 +1,16 @@
+// Plain stuffing + BvN single-coflow scheduling: optimal when delta == 0
+// (Qiu-Stein-Zhong) but Omega(N)-approximate with real reconfiguration
+// delays (Theorem 1).  Used as LP-II-GB's intra-coflow method and as the
+// strawman in the Theorem-1 bench.
+#pragma once
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+
+namespace reco {
+
+/// Stuff `demand` to doubly stochastic and peel classic Birkhoff
+/// permutations (any perfect matching, coefficient = its minimum entry).
+CircuitSchedule bvn_baseline(const Matrix& demand);
+
+}  // namespace reco

@@ -1,0 +1,31 @@
+// Fluid (preemptive, rate-divisible) packet-switch scheduling — the Varys
+// reference model.  Coflows hold strict priority by the given order; each
+// scheduled coflow receives its MADD allocation (Chowdhury et al.,
+// SIGCOMM'14): every flow is paced to finish exactly at the coflow's
+// current bottleneck, so no port is wasted on an already-balanced coflow.
+//
+// This is NOT realizable on an OCS (circuits are not divisible) — it is
+// the idealized packet-switch benchmark that quantifies what Reco-Mul's
+// non-preemptive ALG_p gives up before the OCS transform even starts.
+#pragma once
+
+#include <vector>
+
+#include "core/coflow.hpp"
+#include "core/types.hpp"
+
+namespace reco {
+
+struct FluidScheduleResult {
+  std::vector<Time> cct;  ///< per coflow id
+  Time makespan = 0.0;
+  Time total_weighted_cct = 0.0;
+};
+
+/// Simulate priority fluid sharing: at every completion event, iterate
+/// coflows in `order`, give each its MADD rates out of the remaining port
+/// capacity, advance to the next completion.
+FluidScheduleResult fluid_packet_schedule(const std::vector<Coflow>& coflows,
+                                          const std::vector<int>& order);
+
+}  // namespace reco

@@ -1,0 +1,114 @@
+#include "sched/hybrid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ocs/all_stop_executor.hpp"
+#include "sched/multi_baselines.hpp"
+#include "sched/reco_sin.hpp"
+
+namespace reco {
+
+void split_at_threshold(const Matrix& demand, Time threshold, Matrix& elephants, Matrix& mice) {
+  elephants = Matrix(demand.n());
+  mice = Matrix(demand.n());
+  for (int i = 0; i < demand.n(); ++i) {
+    for (int j = 0; j < demand.n(); ++j) {
+      const double d = demand.at(i, j);
+      if (approx_zero(d)) continue;
+      if (d >= threshold - kTimeEps) {
+        elephants.at(i, j) = d;
+      } else {
+        mice.at(i, j) = d;
+      }
+    }
+  }
+}
+
+HybridResult hybrid_single_coflow(const Matrix& demand, const HybridOptions& options) {
+  if (options.packet_bandwidth_fraction <= 0.0) {
+    throw std::invalid_argument("hybrid_single_coflow: packet bandwidth must be positive");
+  }
+  HybridResult r;
+  Matrix elephants;
+  Matrix mice;
+  split_at_threshold(demand, options.c_threshold * options.delta, elephants, mice);
+  r.elephant_volume = elephants.total();
+  r.mice_volume = mice.total();
+
+  if (elephants.nnz() > 0) {
+    const ExecutionResult ocs =
+        execute_all_stop(reco_sin(elephants, options.delta), elephants, options.delta);
+    r.ocs_cct = ocs.cct;
+    r.reconfigurations = ocs.reconfigurations;
+  }
+  if (mice.nnz() > 0) {
+    // The packet fabric is reconfiguration-free and perfectly divisible, so
+    // a bottleneck port drains its mice load at the slim bandwidth.
+    r.packet_cct = mice.rho() / options.packet_bandwidth_fraction;
+  }
+  r.cct = std::max(r.ocs_cct, r.packet_cct);
+  return r;
+}
+
+HybridMultiResult hybrid_multi_coflow(const std::vector<Coflow>& coflows,
+                                      const HybridOptions& options) {
+  if (options.packet_bandwidth_fraction <= 0.0) {
+    throw std::invalid_argument("hybrid_multi_coflow: packet bandwidth must be positive");
+  }
+  HybridMultiResult result;
+  result.cct.assign(coflows.size(), 0.0);
+  if (coflows.empty()) return result;
+  const int n = coflows.front().demand.n();
+  const Time threshold = options.c_threshold * options.delta;
+
+  // Split every coflow; elephants keep ids so the pipeline's CCTs line up.
+  std::vector<Coflow> elephants;
+  std::vector<Matrix> mice(coflows.size(), Matrix(n));
+  bool any_elephants = false;
+  for (std::size_t k = 0; k < coflows.size(); ++k) {
+    Coflow big = coflows[k];
+    split_at_threshold(coflows[k].demand, threshold, big.demand, mice[k]);
+    result.elephant_volume += big.demand.total();
+    result.mice_volume += mice[k].total();
+    any_elephants = any_elephants || big.demand.nnz() > 0;
+    elephants.push_back(std::move(big));
+  }
+
+  // OCS side: the full Reco-Mul pipeline over the elephant sub-coflows.
+  std::vector<Time> ocs_cct(coflows.size(), 0.0);
+  if (any_elephants) {
+    const MultiScheduleResult ocs =
+        reco_mul_pipeline(elephants, options.delta, options.c_threshold);
+    ocs_cct = ocs.cct;
+    result.reconfigurations = ocs.reconfigurations;
+  }
+
+  // Packet side: fair fluid sharing — a port's total mice backlog drains at
+  // the slim bandwidth, and under fair sharing every mouse on that port
+  // finishes together at the end of the backlog (conservative per coflow).
+  std::vector<Time> port_backlog_in(n, 0.0);
+  std::vector<Time> port_backlog_out(n, 0.0);
+  for (std::size_t k = 0; k < coflows.size(); ++k) {
+    for (int i = 0; i < n; ++i) port_backlog_in[i] += mice[k].row_sum(i);
+    for (int j = 0; j < n; ++j) port_backlog_out[j] += mice[k].col_sum(j);
+  }
+  for (std::size_t k = 0; k < coflows.size(); ++k) {
+    Time packet_cct = 0.0;
+    for (int i = 0; i < n && mice[k].nnz() > 0; ++i) {
+      if (!approx_zero(mice[k].row_sum(i))) {
+        packet_cct = std::max(packet_cct,
+                              port_backlog_in[i] / options.packet_bandwidth_fraction);
+      }
+      if (!approx_zero(mice[k].col_sum(i))) {
+        packet_cct = std::max(packet_cct,
+                              port_backlog_out[i] / options.packet_bandwidth_fraction);
+      }
+    }
+    result.cct[coflows[k].id] = std::max(ocs_cct[coflows[k].id], packet_cct);
+    result.total_weighted_cct += coflows[k].weight * result.cct[coflows[k].id];
+  }
+  return result;
+}
+
+}  // namespace reco

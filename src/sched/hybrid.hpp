@@ -1,0 +1,58 @@
+// Hybrid circuit/packet fabric (the Sec. VI "mice flows" discussion, after
+// Helios / c-Through / Solstice's deployment model): demands below the
+// optical threshold c*delta ride a conventional packet network; elephants
+// go through the OCS via Reco-Sin.  Quantifies why the paper may assume
+// d_ij >= c*delta inside the OCS.
+#pragma once
+
+#include <vector>
+
+#include "core/coflow.hpp"
+#include "core/matrix.hpp"
+#include "core/types.hpp"
+
+namespace reco {
+
+struct HybridOptions {
+  Time delta = 100e-6;
+  double c_threshold = 4.0;
+  /// Packet-network bandwidth per port, as a fraction of an OCS circuit
+  /// (hybrid designs pair fast optics with a slim electrical fabric).
+  double packet_bandwidth_fraction = 0.1;
+};
+
+struct HybridResult {
+  Time cct = 0.0;             ///< max(ocs_cct, packet_cct): both run in parallel
+  Time ocs_cct = 0.0;         ///< elephants through Reco-Sin on the OCS
+  Time packet_cct = 0.0;      ///< mice through the packet fabric
+  int reconfigurations = 0;   ///< OCS establishments used
+  Time elephant_volume = 0.0;
+  Time mice_volume = 0.0;
+};
+
+/// Split one coflow at the optical threshold and schedule both halves.
+HybridResult hybrid_single_coflow(const Matrix& demand, const HybridOptions& options = {});
+
+/// Split a demand matrix at the threshold: entries >= c*delta stay in
+/// `elephants`, the rest go to `mice`.
+void split_at_threshold(const Matrix& demand, Time threshold, Matrix& elephants, Matrix& mice);
+
+struct HybridMultiResult {
+  /// Per-coflow CCT: max of the coflow's OCS part (Reco-Mul over elephant
+  /// sub-coflows) and its packet part (mice drained fluidly at the slim
+  /// bandwidth, shared fair across coflows per port).
+  std::vector<Time> cct;
+  Time total_weighted_cct = 0.0;
+  int reconfigurations = 0;     ///< OCS establishments (elephants only)
+  Time mice_volume = 0.0;
+  Time elephant_volume = 0.0;
+};
+
+/// Multi-coflow hybrid: every coflow is split at c*delta; the elephant
+/// sub-coflows run through the full Reco-Mul pipeline on the OCS, the mice
+/// ride the packet fabric concurrently (modeled as fair fluid sharing, so
+/// a port's mice backlog drains in  total_mice_load / packet_bandwidth).
+HybridMultiResult hybrid_multi_coflow(const std::vector<Coflow>& coflows,
+                                      const HybridOptions& options = {});
+
+}  // namespace reco

@@ -1,0 +1,85 @@
+#include "sched/multi_baselines.hpp"
+
+#include <stdexcept>
+
+#include "ocs/all_stop_executor.hpp"
+#include "ocs/slice_executor.hpp"
+#include "sched/bvn_baseline.hpp"
+#include "sched/packet_scheduler.hpp"
+#include "sched/reco_mul.hpp"
+#include "sched/reco_sin.hpp"
+#include "sched/solstice.hpp"
+
+namespace reco {
+
+namespace {
+CircuitSchedule schedule_one(const Matrix& demand, Time delta, SingleCoflowAlgo algo) {
+  switch (algo) {
+    case SingleCoflowAlgo::kRecoSin: return reco_sin(demand, delta);
+    case SingleCoflowAlgo::kSolstice: return solstice(demand, delta);
+    case SingleCoflowAlgo::kBvn: return bvn_baseline(demand);
+  }
+  throw std::logic_error("schedule_one: unknown algorithm");
+}
+
+MultiScheduleResult finalize(SliceSchedule schedule, const std::vector<Coflow>& coflows,
+                             int reconfigurations) {
+  MultiScheduleResult r;
+  r.schedule = std::move(schedule);
+  r.cct = completion_times(r.schedule, static_cast<int>(coflows.size()));
+  r.reconfigurations = reconfigurations;
+  r.total_weighted_cct = total_weighted_cct(r.cct, coflows);
+  return r;
+}
+}  // namespace
+
+MultiScheduleResult sequential_multi_schedule(const std::vector<Coflow>& coflows,
+                                              const std::vector<int>& order, Time delta,
+                                              SingleCoflowAlgo algo) {
+  SliceSchedule slices;
+  int reconfigs = 0;
+  Time clock = 0.0;
+  for (int idx : order) {
+    const Coflow& c = coflows[idx];
+    const CircuitSchedule cs = schedule_one(c.demand, delta, algo);
+    const ExecutionResult exec = execute_all_stop(cs, c.demand, delta, clock, c.id, &slices);
+    if (!exec.satisfied) {
+      throw std::logic_error("sequential_multi_schedule: demand not satisfied");
+    }
+    clock += exec.cct;
+    reconfigs += exec.reconfigurations;
+  }
+  return finalize(std::move(slices), coflows, reconfigs);
+}
+
+MultiScheduleResult sebf_solstice(const std::vector<Coflow>& coflows, Time delta) {
+  return sequential_multi_schedule(coflows, sebf_order(coflows), delta,
+                                   SingleCoflowAlgo::kSolstice);
+}
+
+MultiScheduleResult lp_ii_gb(const std::vector<Coflow>& coflows, Time delta,
+                             const lp::IntervalLpOptions& lp_options) {
+  return sequential_multi_schedule(coflows, lp_order(coflows, lp_options), delta,
+                                   SingleCoflowAlgo::kBvn);
+}
+
+MultiScheduleResult reco_mul_pipeline(const std::vector<Coflow>& coflows, Time delta, double c,
+                                      OrderingPolicy ordering) {
+  const std::vector<int> order = order_coflows(coflows, ordering);
+  const SliceSchedule packet = packet_schedule(coflows, order);
+  const RecoMulSchedule transformed = reco_mul_transform(packet, delta, c);
+  const int reconfigs = count_reconfigurations(transformed.pseudo);
+  return finalize(transformed.real, coflows, reconfigs);
+}
+
+MultiScheduleResult unregularized_pipeline(const std::vector<Coflow>& coflows, Time delta,
+                                           OrderingPolicy ordering) {
+  const std::vector<int> order = order_coflows(coflows, ordering);
+  const SliceSchedule packet = packet_schedule(coflows, order);
+  // No start-time regularization: inflate the raw packet schedule directly.
+  const SliceSchedule real = inflate_pseudo_time(packet, delta);
+  const int reconfigs = count_reconfigurations(packet);
+  return finalize(real, coflows, reconfigs);
+}
+
+}  // namespace reco

@@ -1,0 +1,57 @@
+// Online multi-coflow scheduling: the paper's stated future direction
+// (Sec. VIII) — coflow demands become known only on arrival.
+//
+// Two non-clairvoyant policies over an event-driven loop:
+//
+//  * kEpochRecoMul — batch scheduling: whenever the fabric goes idle, take
+//    every coflow that has arrived and not finished, build a Reco-Mul
+//    schedule for the batch, and run it to completion; coflows arriving
+//    mid-epoch wait for the next epoch.  Inherits Reco-Mul's alignment
+//    benefits inside each epoch.
+//  * kFifoRecoSin — the natural online baseline: coflows run through the
+//    OCS one at a time in arrival order, each scheduled by Reco-Sin.
+//  * kDrainReplanRecoMul — reactive batching: a running epoch is *cut* at
+//    the next arrival (flows that already started finish; everything not
+//    yet started is cancelled), remaining demands are folded back in, and
+//    the batch is re-planned including the newcomer.  Strictly more
+//    responsive than epoch batching at the cost of extra reconfigurations.
+//
+// All policies emit a real-time SliceSchedule; CCTs are measured from each
+// coflow's arrival, which is what an online objective scores.
+#pragma once
+
+#include <vector>
+
+#include "core/coflow.hpp"
+#include "core/slice.hpp"
+#include "core/types.hpp"
+#include "sched/ordering.hpp"
+
+namespace reco {
+
+enum class OnlinePolicy {
+  kEpochRecoMul,
+  kFifoRecoSin,
+  kDrainReplanRecoMul,
+};
+
+struct OnlineScheduleResult {
+  SliceSchedule schedule;        ///< real-time slices across all epochs
+  std::vector<Time> cct;         ///< per-coflow CCT measured from arrival
+  int reconfigurations = 0;
+  int epochs = 0;                ///< batches executed (kEpochRecoMul only)
+  Time total_weighted_cct = 0.0;
+};
+
+struct OnlineOptions {
+  Time delta = 100e-6;
+  double c_threshold = 4.0;
+  OrderingPolicy ordering = OrderingPolicy::kBssi;  ///< ALG_p inside an epoch
+};
+
+/// Simulate the online arrival process for `coflows` (their `arrival`
+/// fields are honoured; they need not be sorted).
+OnlineScheduleResult schedule_online(const std::vector<Coflow>& coflows, OnlinePolicy policy,
+                                     const OnlineOptions& options = {});
+
+}  // namespace reco

@@ -1,0 +1,104 @@
+#include "sched/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace reco {
+
+namespace {
+/// Per-port loads over 2n ports (ingress 0..n-1, egress n..2n-1).
+std::vector<double> port_loads(const Coflow& c) {
+  const int n = c.demand.n();
+  std::vector<double> load(2 * n, 0.0);
+  for (int i = 0; i < n; ++i) load[i] = c.demand.row_sum(i);
+  for (int j = 0; j < n; ++j) load[n + j] = c.demand.col_sum(j);
+  return load;
+}
+}  // namespace
+
+std::vector<int> sebf_order(const std::vector<Coflow>& coflows) {
+  std::vector<int> order(coflows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return coflows[a].bottleneck() < coflows[b].bottleneck();
+  });
+  return order;
+}
+
+std::vector<int> bssi_order(const std::vector<Coflow>& coflows) {
+  const int num_coflows = static_cast<int>(coflows.size());
+  if (num_coflows == 0) return {};
+  const int num_ports = 2 * coflows.front().demand.n();
+
+  std::vector<std::vector<double>> load(num_coflows);
+  for (int k = 0; k < num_coflows; ++k) load[k] = port_loads(coflows[k]);
+
+  std::vector<double> w(num_coflows);
+  for (int k = 0; k < num_coflows; ++k) w[k] = coflows[k].weight;
+
+  std::vector<char> placed(num_coflows, 0);
+  std::vector<double> port_total(num_ports, 0.0);
+  for (int k = 0; k < num_coflows; ++k) {
+    for (int p = 0; p < num_ports; ++p) port_total[p] += load[k][p];
+  }
+
+  std::vector<int> order(num_coflows, -1);
+  for (int pos = num_coflows - 1; pos >= 0; --pos) {
+    // Most bottlenecked port among unplaced coflows.
+    int b = 0;
+    for (int p = 1; p < num_ports; ++p) {
+      if (port_total[p] > port_total[b]) b = p;
+    }
+    // Coflow that "pays least" for finishing last on b: min w'_k / load_b(k).
+    int j_star = -1;
+    double best = 0.0;
+    for (int k = 0; k < num_coflows; ++k) {
+      if (placed[k] || load[k][b] <= 0.0) continue;
+      const double ratio = w[k] / load[k][b];
+      if (j_star == -1 || ratio < best) {
+        best = ratio;
+        j_star = k;
+      }
+    }
+    if (j_star == -1) {
+      // No unplaced coflow touches the busiest port => all remaining loads
+      // are zero (empty coflows); place any one of them.
+      for (int k = 0; k < num_coflows && j_star == -1; ++k) {
+        if (!placed[k]) j_star = k;
+      }
+    }
+    order[pos] = j_star;
+    placed[j_star] = 1;
+    // Dual update: the chosen coflow's weight-per-load sets the price theta;
+    // every remaining coflow is charged for its share of port b.
+    const double theta = load[j_star][b] > 0.0 ? w[j_star] / load[j_star][b] : 0.0;
+    for (int k = 0; k < num_coflows; ++k) {
+      if (!placed[k]) w[k] = std::max(0.0, w[k] - theta * load[k][b]);
+    }
+    for (int p = 0; p < num_ports; ++p) port_total[p] -= load[j_star][p];
+  }
+  return order;
+}
+
+std::vector<int> lp_order(const std::vector<Coflow>& coflows,
+                          const lp::IntervalLpOptions& options) {
+  const lp::IntervalLpResult r = lp::solve_interval_indexed_lp(coflows, options);
+  if (r.status != lp::SolveStatus::kOptimal) return bssi_order(coflows);
+  std::vector<int> order(coflows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return r.est_completion[a] < r.est_completion[b];
+  });
+  return order;
+}
+
+std::vector<int> order_coflows(const std::vector<Coflow>& coflows, OrderingPolicy policy) {
+  switch (policy) {
+    case OrderingPolicy::kSebf: return sebf_order(coflows);
+    case OrderingPolicy::kBssi: return bssi_order(coflows);
+    case OrderingPolicy::kLp: return lp_order(coflows);
+  }
+  return sebf_order(coflows);
+}
+
+}  // namespace reco

@@ -1,0 +1,32 @@
+// Coflow orderings: the sigma fed into non-preemptive scheduling.
+//
+//  * SEBF  — Smallest-Effective-Bottleneck-First (Varys, SIGCOMM'14):
+//            ascending rho(D_k); weight-agnostic.
+//  * BSSI  — bottleneck primal-dual for concurrent open shop
+//            (Mastrolilli et al.; adopted by Sincronia, SIGCOMM'18): a
+//            combinatorial 4-approximation for total weighted CCT — the
+//            Delta = 4 non-preemptive ALG_p that Reco-Mul wraps
+//            (substituting for Shafiee-Ghaderi's LP-based 4-approx; see
+//            DESIGN.md §4).
+//  * LP    — order by the fractional completion estimates of the
+//            interval-indexed LP (Qiu-Stein-Zhong) — the ordering step of
+//            LP-II-GB.  Falls back to BSSI if the LP solver fails.
+#pragma once
+
+#include <vector>
+
+#include "core/coflow.hpp"
+#include "lp/model.hpp"
+
+namespace reco {
+
+enum class OrderingPolicy { kSebf, kBssi, kLp };
+
+std::vector<int> sebf_order(const std::vector<Coflow>& coflows);
+std::vector<int> bssi_order(const std::vector<Coflow>& coflows);
+std::vector<int> lp_order(const std::vector<Coflow>& coflows,
+                          const lp::IntervalLpOptions& options = {});
+
+std::vector<int> order_coflows(const std::vector<Coflow>& coflows, OrderingPolicy policy);
+
+}  // namespace reco

@@ -1,0 +1,88 @@
+#include "sched/packet_scheduler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace reco {
+
+namespace {
+
+/// Busy intervals of one port, kept sorted and non-overlapping.  Supports
+/// "earliest gap of length d starting at or after t" queries and interval
+/// insertion — the core of insertion-based (backfilling) list scheduling.
+class PortTimeline {
+ public:
+  /// Earliest s >= t such that [s, s+d) is free on this port.
+  Time earliest_fit(Time t, Time d) const {
+    for (const auto& [busy_start, busy_end] : busy_) {
+      if (busy_start - t >= d - kTimeEps) break;  // fits before this interval
+      t = std::max(t, busy_end);
+    }
+    return t;
+  }
+
+  void insert(Time start, Time end) {
+    const auto pos = std::lower_bound(
+        busy_.begin(), busy_.end(), start,
+        [](const std::pair<Time, Time>& iv, Time s) { return iv.first < s; });
+    busy_.insert(pos, {start, end});
+  }
+
+ private:
+  std::vector<std::pair<Time, Time>> busy_;
+};
+
+}  // namespace
+
+SliceSchedule packet_schedule(const std::vector<Coflow>& coflows, const std::vector<int>& order) {
+  SliceSchedule out;
+  if (coflows.empty()) return out;
+  const int n = coflows.front().demand.n();
+  std::vector<PortTimeline> ingress(n);
+  std::vector<PortTimeline> egress(n);
+
+  struct Flow {
+    int src;
+    int dst;
+    Time size;
+  };
+
+  for (int idx : order) {
+    const Coflow& c = coflows[idx];
+    std::vector<Flow> flows;
+    flows.reserve(c.demand.nnz());
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        const Time d = c.demand.at(i, j);
+        if (!approx_zero(d)) flows.push_back({i, j, d});
+      }
+    }
+    // Longest flows first: within a coflow this is the LPT heuristic that
+    // keeps the coflow's own port makespans balanced.
+    std::sort(flows.begin(), flows.end(),
+              [](const Flow& a, const Flow& b) { return a.size > b.size; });
+    for (const Flow& f : flows) {
+      // Earliest slot free on *both* ports: alternate fixed-point between
+      // the two timelines (each step only moves the candidate forward, and
+      // it converges as soon as both agree).
+      Time t = 0.0;
+      while (true) {
+        const Time t_in = ingress[f.src].earliest_fit(t, f.size);
+        const Time t_both = egress[f.dst].earliest_fit(t_in, f.size);
+        if (t_both <= t_in + kTimeEps &&
+            ingress[f.src].earliest_fit(t_both, f.size) <= t_both + kTimeEps) {
+          t = t_both;
+          break;
+        }
+        t = t_both;
+      }
+      const Time end = t + f.size;
+      out.push_back({t, end, f.src, f.dst, c.id});
+      ingress[f.src].insert(t, end);
+      egress[f.dst].insert(t, end);
+    }
+  }
+  return out;
+}
+
+}  // namespace reco

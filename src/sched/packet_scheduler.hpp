@@ -1,0 +1,27 @@
+// Non-preemptive multi-coflow scheduling in a packet switch: the ALG_p of
+// Sec. IV-A.  "Non-preemptive" per the paper: at most one flow transmits on
+// each port at a time, and a started flow runs to completion.
+//
+// Given a coflow priority order sigma, flows are list-scheduled in
+// coflow-major order with *backfilling*: each flow takes the earliest slot
+// that is simultaneously free on its ingress and egress port, without
+// moving anything already scheduled.  Backfilling matters: naive
+// "max(port_free)" list scheduling couples every port's clock to the
+// fabric-wide maximum through shared flows and leaves the switch mostly
+// idle.  Combined with the BSSI ordering this realizes a Delta = 4
+// approximation for total weighted CCT in packet switches.
+#pragma once
+
+#include <vector>
+
+#include "core/coflow.hpp"
+#include "core/slice.hpp"
+
+namespace reco {
+
+/// Produce the non-preemptive packet-switch schedule S_p (one slice per
+/// flow) following the given coflow order (a permutation of coflow
+/// *indices* into `coflows`).
+SliceSchedule packet_schedule(const std::vector<Coflow>& coflows, const std::vector<int>& order);
+
+}  // namespace reco

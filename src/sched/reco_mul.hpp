@@ -1,0 +1,35 @@
+// Reco-Mul (Algorithm 2): transform any non-preemptive packet-switch
+// multi-coflow schedule S_p into a feasible all-stop OCS schedule S_o.
+//
+//   1. Stretch every start time by (floor(sqrt(c))+1)/floor(sqrt(c)) and
+//      snap it *down* to a multiple of sqrt(c)*delta on the pseudo-time
+//      axis (reconfiguration delay shrunk to zero).  With every demand
+//      >= c*delta, stretching opens enough room that snapping never makes
+//      conflicting flows overlap (Lemma 2).
+//   2. Re-inflate the axis: each distinct start batch costs one delta, and
+//      every in-flight flow is halted by each batch firing under it.
+//
+// The alignment means many flows share each reconfiguration, giving the
+// Delta*(1 + 1/floor(sqrt(c)))^2 bound of Theorem 3.
+#pragma once
+
+#include "core/slice.hpp"
+#include "core/types.hpp"
+
+namespace reco {
+
+struct RecoMulSchedule {
+  SliceSchedule pseudo;  ///< S-hat_o: regularized starts, pseudo-time axis
+  SliceSchedule real;    ///< S_o: real time, reconfiguration delays injected
+};
+
+/// Apply Algorithm 2 to a packet-switch schedule.  Requires c >= 1 (the
+/// optical transmission threshold assumption of Sec. II); throws otherwise.
+///
+/// A legalization pass (a provable no-op while d >= c*delta holds, Lemma 2)
+/// pushes any snap-induced port conflicts later, so the returned schedules
+/// are feasible even when callers sweep delta over a fixed trace and the
+/// threshold assumption frays (the Fig. 9(a) regime).
+RecoMulSchedule reco_mul_transform(const SliceSchedule& packet, Time delta, double c);
+
+}  // namespace reco

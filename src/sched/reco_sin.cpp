@@ -1,0 +1,15 @@
+#include "sched/reco_sin.hpp"
+
+#include "bvn/regularization.hpp"
+#include "bvn/stuffing.hpp"
+
+namespace reco {
+
+CircuitSchedule reco_sin(const Matrix& demand, Time delta, BvnPolicy policy) {
+  if (demand.nnz() == 0) return {};
+  const Matrix regularized = regularize(demand, delta);
+  const Matrix stuffed = stuff_granular(regularized, delta);
+  return bvn_decompose(stuffed, policy);
+}
+
+}  // namespace reco

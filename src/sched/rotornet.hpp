@@ -1,0 +1,32 @@
+// RotorNet-style demand-OBLIVIOUS circuit scheduling (Mellette et al.,
+// SIGCOMM'17): the switch blindly cycles through N fixed round-robin
+// permutations with a fixed slot length, touching every (i, j) pair once
+// per cycle.  No demand estimation, no matching computation — the polar
+// opposite of Reco-Sin's demand-driven plan, and a useful calibration
+// point: obliviousness costs little on dense uniform demand and is
+// catastrophic on sparse skewed demand.
+#pragma once
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+#include "core/types.hpp"
+
+namespace reco {
+
+struct RotorOptions {
+  /// Slot length as a multiple of delta (RotorNet keeps slots >> the
+  /// reconfiguration penalty for duty-cycle reasons).
+  double slot_over_delta = 10.0;
+  /// Safety valve on emitted assignments.
+  int max_assignments = 1 << 22;
+};
+
+/// Build the oblivious rotor schedule that covers `demand`: cycle k uses
+/// permutations j = (i + r) mod N for r = 0..N-1, each held one slot,
+/// repeated until every entry is served.  Rotations with no remaining
+/// demand are dropped (the executor would skip them anyway, but dropping
+/// keeps the schedule finite and tight).
+CircuitSchedule rotornet_schedule(const Matrix& demand, Time delta,
+                                  const RotorOptions& options = {});
+
+}  // namespace reco

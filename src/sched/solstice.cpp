@@ -1,0 +1,59 @@
+#include "sched/solstice.hpp"
+
+#include <cmath>
+
+#include "bvn/bvn.hpp"
+#include "bvn/stuffing.hpp"
+#include "matching/incremental_matcher.hpp"
+
+namespace reco {
+
+namespace {
+/// Below this slice size the remaining demand is noise relative to the
+/// simulation tolerance; a final cover pass cleans it up.  Kept well under
+/// kMinServiceQuantum so the leftover crumbs are invisible to executors.
+constexpr double kSliceFloor = 8 * kTimeEps;
+}  // namespace
+
+CircuitSchedule solstice(const Matrix& demand, Time /*delta*/) {
+  if (demand.nnz() == 0) return {};
+  Matrix m = stuff(demand);
+
+  CircuitSchedule schedule;
+  int nnz_left = m.nnz();
+  double r = std::exp2(std::ceil(std::log2(m.max_entry())));
+  IncrementalMatcher matcher(m, r);
+
+  while (nnz_left > 0 && r >= kSliceFloor) {
+    matcher.rematch();
+    if (!matcher.is_perfect()) {
+      r /= 2.0;
+      matcher.set_threshold(r);
+      continue;
+    }
+    CircuitAssignment a;
+    a.duration = r;
+    a.circuits.reserve(m.n());
+    for (int i = 0; i < m.n(); ++i) {
+      const int j = matcher.matched_col(i);
+      a.circuits.push_back({i, j});
+      const double before = m.at(i, j);
+      m.at(i, j) = clamp_zero(before - r);
+      if (approx_zero(m.at(i, j)) && !approx_zero(before)) --nnz_left;
+      matcher.on_entry_changed(i, j);
+    }
+    schedule.assignments.push_back(std::move(a));
+  }
+
+  // Binary slicing converges geometrically but never terminates exactly on
+  // arbitrary real demands; cover the (tolerance-scale) residue so the
+  // schedule provably satisfies the demand matrix.  The residue is below
+  // kMinServiceQuantum per entry, so executors skip it entirely.
+  if (nnz_left > 0) {
+    const CircuitSchedule tail = cover_decompose(std::move(m));
+    for (const auto& a : tail.assignments) schedule.assignments.push_back(a);
+  }
+  return schedule;
+}
+
+}  // namespace reco

@@ -1,0 +1,30 @@
+// Traffic Matrix Scheduling in the Helios / c-Through style (Farrington et
+// al. SIGCOMM'10; Porter et al. SIGCOMM'13): repeatedly establish the
+// maximum-weight matching over the residual demand and hold it for a fixed
+// "day length".  The classic OCS control loop and a natural third
+// single-coflow baseline next to Solstice and plain BvN: reconfiguration-
+// count-friendly when the day is long, but blind to stranded residuals.
+#pragma once
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+#include "core/types.hpp"
+
+namespace reco {
+
+struct TmsOptions {
+  /// Circuit hold time per establishment, as a multiple of delta ("night
+  /// length").  Helios-style systems use day >> night.
+  double day_over_delta = 10.0;
+  /// Safety valve: give up extending the schedule after this many
+  /// establishments (the executor would skip useless ones anyway).
+  int max_assignments = 1 << 20;
+};
+
+/// Build a circuit scheduling for one coflow by repeated max-weight
+/// matchings (Hungarian) over the residual demand.  The schedule always
+/// satisfies the demand: the final matching rounds run as long as their
+/// largest residual.
+CircuitSchedule tms_schedule(const Matrix& demand, Time delta, const TmsOptions& options = {});
+
+}  // namespace reco

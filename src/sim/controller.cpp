@@ -1,0 +1,82 @@
+#include "sim/controller.hpp"
+
+#include <algorithm>
+
+#include "bvn/regularization.hpp"
+#include "bvn/stuffing.hpp"
+#include "matching/bottleneck.hpp"
+#include "matching/hungarian.hpp"
+
+namespace reco::sim {
+
+ReplayController::ReplayController(CircuitSchedule schedule) : schedule_(std::move(schedule)) {}
+
+std::optional<CircuitAssignment> ReplayController::next_assignment(Time /*now*/,
+                                                                   const Matrix& residual) {
+  while (next_ < schedule_.assignments.size()) {
+    const CircuitAssignment& a = schedule_.assignments[next_++];
+    for (const Circuit& c : a.circuits) {
+      if (residual.at(c.in, c.out) >= kMinServiceQuantum) return a;
+    }
+    // All circuits drained already: skip without reconfiguring.
+  }
+  return std::nullopt;
+}
+
+GreedyMaxWeightController::GreedyMaxWeightController(Time delta, double day_over_delta)
+    : delta_(delta), day_over_delta_(day_over_delta) {}
+
+std::optional<CircuitAssignment> GreedyMaxWeightController::next_assignment(
+    Time /*now*/, const Matrix& residual) {
+  if (residual.max_entry() < kMinServiceQuantum) return std::nullopt;
+  const AssignmentResult match = max_weight_assignment(residual);
+  CircuitAssignment a;
+  Time largest = 0.0;
+  for (int i = 0; i < residual.n(); ++i) {
+    const int j = match.col_of_row[i];
+    const Time rem = residual.at(i, j);
+    if (rem < kMinServiceQuantum) continue;
+    a.circuits.push_back({i, j});
+    largest = std::max(largest, rem);
+  }
+  if (a.circuits.empty()) {
+    // Max-weight matching avoided every live entry (possible when live
+    // entries clash on ports with heavier zero-entry rows): fall back to
+    // serving the single largest entry.
+    int bi = 0;
+    int bj = 0;
+    for (int i = 0; i < residual.n(); ++i) {
+      for (int j = 0; j < residual.n(); ++j) {
+        if (residual.at(i, j) > residual.at(bi, bj)) {
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    a.circuits.push_back({bi, bj});
+    largest = residual.at(bi, bj);
+  }
+  a.duration = day_over_delta_ > 0.0 ? std::min(largest, day_over_delta_ * delta_) : largest;
+  return a;
+}
+
+AdaptiveRecoController::AdaptiveRecoController(Time delta) : delta_(delta) {}
+
+std::optional<CircuitAssignment> AdaptiveRecoController::next_assignment(
+    Time /*now*/, const Matrix& residual) {
+  if (residual.max_entry() < kMinServiceQuantum) return std::nullopt;
+  // Regularize + stuff the residual so a perfect matching exists, then take
+  // one max-min extraction — Algorithm 1 re-planned against live state.
+  const Matrix prepared = stuff_granular(regularize(residual, delta_), delta_);
+  const auto match = bottleneck_perfect_matching(prepared);
+  if (!match) return std::nullopt;  // tolerance-scale crumbs only
+  CircuitAssignment a;
+  a.duration = match->bottleneck;
+  for (const auto& [i, j] : match->pairs) {
+    if (residual.at(i, j) >= kMinServiceQuantum) a.circuits.push_back({i, j});
+  }
+  if (a.circuits.empty()) return std::nullopt;
+  return a;
+}
+
+}  // namespace reco::sim

@@ -1,0 +1,71 @@
+// Circuit controllers: the decision-making half of the event-driven
+// simulator.  A controller is consulted every time the fabric goes idle
+// and answers with the next circuit establishment (or none).
+//
+// Two families:
+//  * replay controllers — walk a precomputed CircuitSchedule (Reco-Sin,
+//    Solstice, ...); useful to cross-validate the analytic executors;
+//  * adaptive controllers — decide from the live residual matrix, which
+//    only an event-driven fabric can support.  GreedyMaxWeight is the
+//    Helios control loop made adaptive: re-match on every wake-up.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+#include "core/types.hpp"
+
+namespace reco::sim {
+
+/// Strategy consulted by the fabric whenever it can reconfigure.
+class CircuitController {
+ public:
+  virtual ~CircuitController() = default;
+
+  /// Next establishment given the residual demand, or nullopt to stop.
+  /// `now` is the simulation clock at the decision instant.
+  virtual std::optional<CircuitAssignment> next_assignment(Time now,
+                                                           const Matrix& residual) = 0;
+};
+
+/// Replays a precomputed schedule, skipping establishments whose circuits
+/// have no residual demand left (mirrors the analytic executor).
+class ReplayController final : public CircuitController {
+ public:
+  explicit ReplayController(CircuitSchedule schedule);
+  std::optional<CircuitAssignment> next_assignment(Time now, const Matrix& residual) override;
+
+ private:
+  CircuitSchedule schedule_;
+  std::size_t next_ = 0;
+};
+
+/// Adaptive Helios-style policy: max-weight matching over the residual on
+/// every decision, held until the largest matched residual drains (or a
+/// fixed day, whichever is shorter).
+class GreedyMaxWeightController final : public CircuitController {
+ public:
+  /// day_over_delta <= 0 disables the day cap (hold until drained).
+  GreedyMaxWeightController(Time delta, double day_over_delta = 0.0);
+  std::optional<CircuitAssignment> next_assignment(Time now, const Matrix& residual) override;
+
+ private:
+  Time delta_;
+  double day_over_delta_;
+};
+
+/// Adaptive regularization policy: Reco-Sin's max-min extraction applied
+/// to the *residual* (re-regularized each round) instead of a precomputed
+/// plan — measures what adaptivity adds on top of Algorithm 1.
+class AdaptiveRecoController final : public CircuitController {
+ public:
+  explicit AdaptiveRecoController(Time delta);
+  std::optional<CircuitAssignment> next_assignment(Time now, const Matrix& residual) override;
+
+ private:
+  Time delta_;
+};
+
+}  // namespace reco::sim

@@ -1,0 +1,32 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace reco::sim {
+
+void EventQueue::schedule(Time at, EventFn fn) {
+  if (at < now_ - kTimeEps) {
+    throw std::logic_error("EventQueue::schedule: event in the past");
+  }
+  heap_.push({at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the (small) callback instead.
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.at;
+  ++processed_;
+  e.fn();
+  return true;
+}
+
+void EventQueue::run_all() {
+  while (run_one()) {
+  }
+}
+
+}  // namespace reco::sim

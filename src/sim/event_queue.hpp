@@ -1,0 +1,53 @@
+// Discrete-event core: a time-ordered queue of callbacks.
+//
+// Ties are broken by insertion sequence so simulations are deterministic
+// regardless of heap internals — a property the cross-validation tests
+// against the analytic executors rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace reco::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  void schedule(Time at, EventFn fn);
+
+  /// Pop and run the earliest event; returns false when empty.
+  bool run_one();
+
+  /// Run until the queue drains.
+  void run_all();
+
+  bool empty() const { return heap_.empty(); }
+  Time now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace reco::sim

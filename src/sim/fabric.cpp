@@ -1,0 +1,221 @@
+#include "sim/fabric.hpp"
+
+#include <algorithm>
+
+#include "sim/event_queue.hpp"
+#include "trace/rng.hpp"
+
+namespace reco::sim {
+
+namespace {
+
+/// Mean busy/cct over ports that carried any traffic.
+double utilization(const std::vector<Time>& busy_in, const std::vector<Time>& busy_out,
+                   Time horizon) {
+  if (horizon <= 0.0) return 0.0;
+  double sum = 0.0;
+  int active = 0;
+  for (const auto* busy : {&busy_in, &busy_out}) {
+    for (Time b : *busy) {
+      if (b > 0.0) {
+        sum += b / horizon;
+        ++active;
+      }
+    }
+  }
+  return active > 0 ? sum / active : 0.0;
+}
+
+}  // namespace
+
+SimulationReport simulate_single_coflow(CircuitController& controller, const Matrix& demand,
+                                        Time delta, const FaultModel& faults) {
+  SimulationReport report;
+  const int n = demand.n();
+  Matrix residual = demand;
+  std::vector<Time> busy_in(n, 0.0);
+  std::vector<Time> busy_out(n, 0.0);
+  EventQueue queue;
+  Rng fault_rng(faults.seed);
+
+  // Actual wall time of one reconfiguration under the fault model: each
+  // attempt is jittered; failed attempts (geometric) repeat in full.
+  const auto sample_setup_time = [&]() {
+    Time total = 0.0;
+    do {
+      double slowdown = 1.0;
+      if (faults.jitter_fraction > 0.0) {
+        slowdown += faults.jitter_fraction * fault_rng.uniform();
+      }
+      total += delta * slowdown;
+    } while (faults.retry_probability > 0.0 &&
+             fault_rng.uniform() < faults.retry_probability);
+    return total;
+  };
+
+  // The decision loop is expressed as a self-scheduling chain of events:
+  // decide -> (reconfigure delta) -> circuits up -> (hold) -> drained ->
+  // decide...  `decide` is a named lambda stored so events can re-enter it.
+  std::function<void()> decide = [&]() {
+    const auto next = controller.next_assignment(queue.now(), residual);
+    if (!next.has_value()) return;  // controller done: queue drains, sim ends
+
+    // Ignore establishments with nothing useful to send (no delta charged).
+    Time max_rem = 0.0;
+    for (const Circuit& c : next->circuits) {
+      const Time rem = residual.at(c.in, c.out);
+      if (rem >= kMinServiceQuantum) max_rem = std::max(max_rem, rem);
+    }
+    if (max_rem == 0.0) {
+      queue.schedule(queue.now(), decide);  // ask again immediately
+      return;
+    }
+
+    const CircuitAssignment assignment = *next;
+    const Time hold = std::min(assignment.duration, max_rem);
+    const Time setup = sample_setup_time();
+    ++report.reconfigurations;
+    report.reconfiguration_time += setup;
+
+    queue.schedule(queue.now() + setup, [&, assignment, hold]() {
+      const Time start = queue.now();
+      report.transmission_time += hold;
+      for (const Circuit& c : assignment.circuits) {
+        const Time rem = residual.at(c.in, c.out);
+        const Time sent = std::min(hold, rem);
+        if (approx_zero(sent)) continue;
+        residual.at(c.in, c.out) = clamp_zero(rem - sent);
+        busy_in[c.in] += sent;
+        busy_out[c.out] += sent;
+        if (residual.at(c.in, c.out) < kMinServiceQuantum) {
+          report.completions.push_back({c, start + sent});
+        }
+      }
+      queue.schedule(start + hold, decide);
+    });
+  };
+
+  queue.schedule(0.0, decide);
+  queue.run_all();
+
+  std::sort(report.completions.begin(), report.completions.end(),
+            [](const FlowCompletion& a, const FlowCompletion& b) {
+              return a.completed_at < b.completed_at;
+            });
+  report.cct = queue.now();
+  report.satisfied = residual.max_entry() < kMinServiceQuantum;
+  report.avg_port_utilization = utilization(busy_in, busy_out, report.cct);
+  report.events = queue.events_processed();
+  return report;
+}
+
+SimulationReport simulate_not_all_stop_replay(const CircuitSchedule& schedule,
+                                              const Matrix& demand, Time delta) {
+  SimulationReport report;
+  const int n = demand.n();
+  Matrix residual = demand;
+  std::vector<Time> busy_in(n, 0.0);
+  std::vector<Time> busy_out(n, 0.0);
+  std::vector<Time> free_in(n, 0.0);
+  std::vector<Time> free_out(n, 0.0);
+  std::vector<int> peer_of_in(n, -1);
+  std::vector<int> peer_of_out(n, -1);
+  EventQueue queue;
+  Time cct = 0.0;
+
+  // Per-circuit timing is decided up front (ports are independent in the
+  // not-all-stop model); the event queue then realizes drains in global
+  // time order so completions come out chronologically sorted by nature.
+  for (const CircuitAssignment& a : schedule.assignments) {
+    for (const Circuit& c : a.circuits) {
+      const Time rem = residual.at(c.in, c.out);
+      if (rem < kMinServiceQuantum) continue;
+      Time ready = std::max(free_in[c.in], free_out[c.out]);
+      const bool changed = peer_of_in[c.in] != c.out || peer_of_out[c.out] != c.in;
+      if (changed) {
+        ready += delta;
+        ++report.reconfigurations;
+        report.reconfiguration_time += delta;
+      }
+      const Time hold = std::min(a.duration, rem);
+      const Time end = ready + hold;
+      residual.at(c.in, c.out) = clamp_zero(rem - hold);
+      report.transmission_time += hold;
+      busy_in[c.in] += hold;
+      busy_out[c.out] += hold;
+      free_in[c.in] = end;
+      free_out[c.out] = end;
+      peer_of_in[c.in] = c.out;
+      peer_of_out[c.out] = c.in;
+      cct = std::max(cct, end);
+      if (residual.at(c.in, c.out) < kMinServiceQuantum) {
+        const Circuit circuit = c;
+        queue.schedule(end, [&, circuit]() {
+          report.completions.push_back({circuit, queue.now()});
+        });
+      } else {
+        queue.schedule(end, []() {});  // drain event for the event count
+      }
+    }
+  }
+  queue.run_all();
+
+  report.cct = cct;
+  report.satisfied = residual.max_entry() < kMinServiceQuantum;
+  report.avg_port_utilization = utilization(busy_in, busy_out, report.cct);
+  report.events = queue.events_processed();
+  return report;
+}
+
+SliceReplayReport simulate_slice_schedule(const SliceSchedule& schedule, int num_ports,
+                                          int num_coflows) {
+  SliceReplayReport report;
+  report.cct.assign(num_coflows, 0.0);
+  std::vector<Time> busy_in(num_ports, 0.0);
+  std::vector<Time> busy_out(num_ports, 0.0);
+  // Runtime occupancy: which slice currently owns each port.
+  std::vector<int> in_owner(num_ports, -1);
+  std::vector<int> out_owner(num_ports, -1);
+  EventQueue queue;
+
+  // End events are scheduled before start events so that, at equal
+  // timestamps, a port hand-off (A ends exactly when B starts) is not a
+  // violation — the queue breaks time ties by insertion order.
+  for (std::size_t f = 0; f < schedule.size(); ++f) {
+    const FlowSlice& s = schedule[f];
+    queue.schedule(s.end, [&, f]() {
+      const FlowSlice& slice = schedule[f];
+      if (in_owner[slice.src] == static_cast<int>(f)) in_owner[slice.src] = -1;
+      if (out_owner[slice.dst] == static_cast<int>(f)) out_owner[slice.dst] = -1;
+      busy_in[slice.src] += slice.duration();
+      busy_out[slice.dst] += slice.duration();
+      if (slice.coflow >= 0 && slice.coflow < num_coflows) {
+        report.cct[slice.coflow] = std::max(report.cct[slice.coflow], queue.now());
+      }
+      report.makespan = std::max(report.makespan, queue.now());
+    });
+  }
+  for (std::size_t f = 0; f < schedule.size(); ++f) {
+    const FlowSlice& s = schedule[f];
+    queue.schedule(s.start, [&, f]() {
+      const FlowSlice& slice = schedule[f];
+      // A port still owned by a slice whose end is due within tolerance of
+      // "now" is a hand-off racing float round-off, not a violation.
+      const auto is_conflict = [&](int owner) {
+        return owner != -1 && schedule[owner].end > queue.now() + kTimeEps;
+      };
+      if (is_conflict(in_owner[slice.src]) || is_conflict(out_owner[slice.dst])) {
+        ++report.port_violations;
+      }
+      in_owner[slice.src] = static_cast<int>(f);
+      out_owner[slice.dst] = static_cast<int>(f);
+    });
+  }
+  queue.run_all();
+
+  report.avg_port_utilization = utilization(busy_in, busy_out, report.makespan);
+  report.events = queue.events_processed();
+  return report;
+}
+
+}  // namespace reco::sim

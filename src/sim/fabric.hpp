@@ -1,0 +1,74 @@
+// Event-driven OCS fabric: the paper's "trace-driven flow-level simulator"
+// as an explicit discrete-event machine (Sec. V-A Methodology).
+//
+// Where ocs/ replays schedules analytically, this module simulates the
+// switch: reconfiguration and drain instants are events, controllers are
+// consulted at decision points, per-flow completions and per-port busy
+// time are recorded.  The analytic executors are cross-validated against
+// it property-test-style (tests/sim/), and adaptive policies — which have
+// no precomputed schedule to replay — run only here.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+#include "core/slice.hpp"
+#include "core/types.hpp"
+#include "sim/controller.hpp"
+
+namespace reco::sim {
+
+/// One transmitted flow's record: which circuit, and when it finished.
+struct FlowCompletion {
+  Circuit circuit;
+  Time completed_at = 0.0;
+};
+
+struct SimulationReport {
+  Time cct = 0.0;
+  Time transmission_time = 0.0;      ///< fabric-level transmitting time
+  Time reconfiguration_time = 0.0;
+  int reconfigurations = 0;
+  bool satisfied = false;
+  std::vector<FlowCompletion> completions;  ///< ordered by completion time
+  /// Mean over *active* ports of (port transmit-busy time / cct).
+  double avg_port_utilization = 0.0;
+  std::uint64_t events = 0;
+};
+
+/// Fault model for reconfigurations (MEMS mirrors are not metronomes):
+/// every reconfiguration takes delta * (1 + U[0, jitter_fraction]), and
+/// with probability retry_probability it fails and must be repeated
+/// (geometrically).  The defaults reproduce the ideal fixed-delta switch.
+struct FaultModel {
+  double jitter_fraction = 0.0;     ///< worst-case slowdown per setup
+  double retry_probability = 0.0;   ///< P(one setup attempt fails)
+  std::uint64_t seed = 1;           ///< deterministic fault stream
+};
+
+/// Run one coflow on an all-stop OCS under `controller` until the
+/// controller stops or the demand drains.
+SimulationReport simulate_single_coflow(CircuitController& controller, const Matrix& demand,
+                                        Time delta, const FaultModel& faults = {});
+
+/// Event-driven replay of a precomputed schedule on a not-all-stop OCS
+/// (per-port reconfiguration; unchanged circuits keep transmitting).
+SimulationReport simulate_not_all_stop_replay(const CircuitSchedule& schedule,
+                                              const Matrix& demand, Time delta);
+
+/// Multi-coflow slice replay with runtime port-constraint enforcement.
+struct SliceReplayReport {
+  std::vector<Time> cct;       ///< per coflow id
+  Time makespan = 0.0;
+  int port_violations = 0;     ///< overlapping slices detected (0 = feasible)
+  double avg_port_utilization = 0.0;
+  std::uint64_t events = 0;
+};
+
+SliceReplayReport simulate_slice_schedule(const SliceSchedule& schedule, int num_ports,
+                                          int num_coflows);
+
+}  // namespace reco::sim

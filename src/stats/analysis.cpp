@@ -1,0 +1,65 @@
+#include "stats/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace reco {
+
+TimeBreakdown analyze_time_breakdown(const CircuitSchedule& schedule, const Matrix& demand,
+                                     Time delta) {
+  TimeBreakdown b;
+  Matrix residual = demand;
+  for (const CircuitAssignment& a : schedule.assignments) {
+    Time max_rem = 0.0;
+    for (const Circuit& c : a.circuits) {
+      const Time rem = residual.at(c.in, c.out);
+      if (rem >= kMinServiceQuantum) max_rem = std::max(max_rem, rem);
+    }
+    if (max_rem == 0.0) continue;
+    const Time hold = std::min(a.duration, max_rem);
+    b.reconfiguration += delta;
+    b.transmission += hold;
+    ++b.establishments;
+    for (const Circuit& c : a.circuits) {
+      const Time rem = residual.at(c.in, c.out);
+      const Time sent = std::min(hold, rem);
+      // Each circuit ties up one ingress and one egress port for `hold`;
+      // anything beyond its own service is stranded port time.
+      b.stranded_port_time += 2 * (hold - sent);
+      residual.at(c.in, c.out) = clamp_zero(rem - sent);
+    }
+  }
+  b.cct = b.transmission + b.reconfiguration;
+  return b;
+}
+
+std::string render_gantt(const SliceSchedule& schedule, int num_ports, int width) {
+  std::ostringstream out;
+  const Time horizon = makespan(schedule);
+  if (horizon <= 0.0 || width <= 0) return "(empty schedule)\n";
+  const Time cell = horizon / width;
+
+  const auto render_axis = [&](bool ingress) {
+    for (int p = 0; p < num_ports; ++p) {
+      std::string row(width, '.');
+      for (const FlowSlice& s : schedule) {
+        if ((ingress ? s.src : s.dst) != p) continue;
+        int first = static_cast<int>(s.start / cell);
+        int last = static_cast<int>((s.end - kTimeEps) / cell);
+        first = std::clamp(first, 0, width - 1);
+        last = std::clamp(last, 0, width - 1);
+        const char mark = static_cast<char>('0' + (s.coflow % 10));
+        for (int x = first; x <= last; ++x) {
+          row[x] = row[x] == '.' ? mark : '!';
+        }
+      }
+      out << (ingress ? "in " : "out") << (p < 10 ? " " : "") << p << " |" << row << "|\n";
+    }
+  };
+  out << "time 0 .. " << horizon << " (" << width << " cols)\n";
+  render_axis(true);
+  render_axis(false);
+  return out.str();
+}
+
+}  // namespace reco

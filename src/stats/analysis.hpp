@@ -1,0 +1,42 @@
+// Schedule diagnostics: where did the time go?
+//
+// Decomposes a circuit schedule's executed timeline into transmission /
+// reconfiguration / stranded-port-idle components and renders ASCII Gantt
+// charts of slice schedules — the debugging lens used while matching the
+// paper's figures, kept as a public utility.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+#include "core/slice.hpp"
+#include "core/types.hpp"
+
+namespace reco {
+
+/// Executed-time breakdown of a single-coflow circuit schedule.
+struct TimeBreakdown {
+  Time cct = 0.0;
+  Time transmission = 0.0;   ///< fabric held with at least one live circuit
+  Time reconfiguration = 0.0;
+  /// Sum over active ports of time the fabric was transmitting while that
+  /// port's own circuit had already drained (the all-stop stranding cost
+  /// that regularization is designed to shrink).
+  Time stranded_port_time = 0.0;
+  int establishments = 0;
+};
+
+/// Replay `schedule` against `demand` (all-stop semantics, early stop) and
+/// attribute every second of fabric time.
+TimeBreakdown analyze_time_breakdown(const CircuitSchedule& schedule, const Matrix& demand,
+                                     Time delta);
+
+/// ASCII Gantt chart of a slice schedule: one row per (direction, port),
+/// `width` character columns across the makespan.  Busy cells show the
+/// coflow id (mod 10), idle cells '.', multi-owner cells '!' (a port
+/// violation).  Intended for small examples and documentation.
+std::string render_gantt(const SliceSchedule& schedule, int num_ports, int width = 72);
+
+}  // namespace reco

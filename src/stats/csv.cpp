@@ -1,0 +1,58 @@
+#include "stats/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace reco {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv_row(std::ostream& out, const std::vector<std::string>& row) {
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out << csv_escape(row[c]) << (c + 1 == row.size() ? "" : ",");
+  }
+  out << '\n';
+}
+
+void write_csv(std::ostream& out, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  if (!header.empty()) write_csv_row(out, header);
+  for (const auto& row : rows) write_csv_row(out, row);
+}
+
+void write_slices_csv(std::ostream& out, const SliceSchedule& schedule) {
+  std::ostringstream buffer;
+  buffer.precision(12);
+  write_csv_row(out, {"start", "end", "src", "dst", "coflow"});
+  for (const FlowSlice& s : schedule) {
+    buffer.str("");
+    buffer << s.start;
+    const std::string start = buffer.str();
+    buffer.str("");
+    buffer << s.end;
+    write_csv_row(out, {start, buffer.str(), std::to_string(s.src), std::to_string(s.dst),
+                        std::to_string(s.coflow)});
+  }
+}
+
+void save_csv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_csv: cannot open " + path);
+  write_csv(out, header, rows);
+  if (!out) throw std::runtime_error("save_csv: write failed for " + path);
+}
+
+}  // namespace reco

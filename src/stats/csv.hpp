@@ -1,0 +1,32 @@
+// CSV serialization for experiment artifacts, so bench output can feed
+// straight into pandas / gnuplot without scraping the console tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/slice.hpp"
+#include "stats/report.hpp"
+
+namespace reco {
+
+/// RFC-4180-style escaping: quote fields containing commas, quotes or
+/// newlines; double embedded quotes.
+std::string csv_escape(const std::string& field);
+
+/// One row, escaped and newline-terminated.
+void write_csv_row(std::ostream& out, const std::vector<std::string>& row);
+
+/// A whole table: header (if set) then rows.
+void write_csv(std::ostream& out, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Slice schedules as start,end,src,dst,coflow rows — the Gantt raw data.
+void write_slices_csv(std::ostream& out, const SliceSchedule& schedule);
+
+/// File convenience wrapper; throws std::runtime_error on I/O failure.
+void save_csv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace reco

@@ -1,0 +1,90 @@
+#include "trace/fb_format.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/rng.hpp"
+
+namespace reco {
+
+Time megabytes_to_seconds(double megabytes, double link_gbps) {
+  if (link_gbps <= 0.0) throw std::invalid_argument("megabytes_to_seconds: bad bandwidth");
+  return megabytes * 8.0 / (link_gbps * 1000.0);  // MB -> Mbit -> seconds
+}
+
+std::vector<Coflow> read_fb_trace(std::istream& in, int& num_ports,
+                                  const FbTraceOptions& options) {
+  int num_coflows = 0;
+  if (!(in >> num_ports >> num_coflows) || num_ports <= 0 || num_coflows < 0) {
+    throw std::runtime_error("read_fb_trace: bad header");
+  }
+  Rng rng(options.perturb_seed);
+  std::vector<Coflow> coflows;
+  coflows.reserve(num_coflows);
+
+  for (int k = 0; k < num_coflows; ++k) {
+    long long raw_id = 0;
+    double arrival_ms = 0.0;
+    int num_mappers = 0;
+    if (!(in >> raw_id >> arrival_ms >> num_mappers) || num_mappers < 0) {
+      throw std::runtime_error("read_fb_trace: bad coflow record");
+    }
+    std::vector<int> mappers(num_mappers);
+    for (int& m : mappers) {
+      if (!(in >> m) || m < 0 || m >= num_ports) {
+        throw std::runtime_error("read_fb_trace: mapper rack out of range");
+      }
+    }
+    int num_reducers = 0;
+    if (!(in >> num_reducers) || num_reducers < 0) {
+      throw std::runtime_error("read_fb_trace: bad reducer count");
+    }
+
+    Coflow c;
+    c.id = k;  // ids are re-normalized; the raw id is not needed downstream
+    c.weight = 1.0;
+    c.arrival = options.zero_arrivals ? 0.0 : arrival_ms / 1000.0;
+    c.demand = Matrix(num_ports);
+
+    for (int r = 0; r < num_reducers; ++r) {
+      std::string token;
+      if (!(in >> token)) throw std::runtime_error("read_fb_trace: truncated reducers");
+      const std::size_t colon = token.find(':');
+      if (colon == std::string::npos) {
+        throw std::runtime_error("read_fb_trace: reducer token missing ':'");
+      }
+      const int rack = std::stoi(token.substr(0, colon));
+      const double size_mb = std::stod(token.substr(colon + 1));
+      if (rack < 0 || rack >= num_ports || size_mb < 0.0) {
+        throw std::runtime_error("read_fb_trace: bad reducer entry");
+      }
+      if (mappers.empty() || size_mb == 0.0) continue;
+      // The paper's preprocessing: split the reducer's shuffle volume
+      // uniformly across the mappers.
+      const Time per_mapper =
+          megabytes_to_seconds(size_mb, options.link_gbps) / mappers.size();
+      for (int m : mappers) {
+        double jitter = 1.0;
+        if (options.perturbation > 0.0) {
+          jitter = 1.0 + options.perturbation * rng.uniform(-1.0, 1.0);
+        }
+        // Mapper and reducer in the same rack: intra-rack traffic never
+        // crosses the fabric.
+        if (m == rack) continue;
+        c.demand.at(m, rack) += per_mapper * jitter;
+      }
+    }
+    coflows.push_back(std::move(c));
+  }
+  return coflows;
+}
+
+std::vector<Coflow> load_fb_trace(const std::string& path, int& num_ports,
+                                  const FbTraceOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_fb_trace: cannot open " + path);
+  return read_fb_trace(in, num_ports, options);
+}
+
+}  // namespace reco

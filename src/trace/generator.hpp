@@ -1,0 +1,64 @@
+// Synthetic Facebook-like coflow workload (the DESIGN.md §4 substitution
+// for the proprietary FB2010 Hive/MapReduce trace).
+//
+// Calibration targets, all from the paper's Sec. V-A:
+//  * 526 coflows on a 150-port fabric;
+//  * transmission-mode mix by count: S2S 23.38 %, S2M 9.89 %, M2S 40.11 %,
+//    M2M 26.62 % — and M2M carrying ~99.94 % of all bytes (Table II);
+//  * density mix: sparse 86.31 %, normal 5.13 %, dense 8.56 % (Table I) —
+//    with all non-M2M coflows structurally sparse, the M2M population is
+//    split ~48.6 / 19.3 / 32.2 % across sparse/normal/dense to hit it;
+//  * reducer shuffle volume divided uniformly across mappers, then +-5 %
+//    per-flow perturbation;
+//  * every nonzero demand >= c * delta (mice flows go to packet switches).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coflow.hpp"
+#include "core/types.hpp"
+
+namespace reco {
+
+struct GeneratorOptions {
+  int num_ports = 150;
+  int num_coflows = 526;
+  std::uint64_t seed = 20190707;  ///< ICDCS'19 presentation date
+
+  Time delta = 100e-6;      ///< reconfiguration delay (default 100 us, Sec. V-C)
+  double c_threshold = 4.0; ///< minimum demand = c * delta
+
+  // Transmission-mode probabilities (Table II); M2M takes the remainder.
+  double p_s2s = 0.2338;
+  double p_s2m = 0.0989;
+  double p_m2s = 0.4011;
+
+  // Density split *within* M2M coflows (derived from Table I; see header).
+  double p_m2m_sparse = 0.486;
+  double p_m2m_normal = 0.193;
+
+  /// +-fraction applied independently per flow (paper: 5 %).
+  double perturbation = 0.05;
+
+  /// Per-flow demand scale for M2M coflows, in units of c*delta: flows are
+  /// lognormal around scale*c*delta with a heavy tail.
+  double m2m_flow_scale = 4.0;
+
+  /// true: w_k = 1 for all coflows; false: w_k ~ U[0,1] (Fig. 6 setup).
+  bool unit_weights = false;
+
+  /// true (paper default): clip every flow up to c*delta — only elephants
+  /// enter the OCS.  false: keep sub-threshold mice (for the hybrid
+  /// circuit/packet experiments of Sec. VI).
+  bool enforce_threshold = true;
+
+  /// Mean coflow inter-arrival time for the online extension; 0 keeps the
+  /// paper's all-buffered assumption (every arrival at t = 0).
+  Time mean_interarrival = 0.0;
+};
+
+/// Generate a deterministic workload; coflow ids are 0..num_coflows-1.
+std::vector<Coflow> generate_workload(const GeneratorOptions& options);
+
+}  // namespace reco

@@ -1,0 +1,75 @@
+#include "trace/serialization.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+namespace reco {
+
+void write_trace(std::ostream& out, const std::vector<Coflow>& coflows, int num_ports) {
+  // Format v2 adds the arrival time (v1 readers did not need it because the
+  // paper assumes pre-buffered coflows; the online extension does).
+  out << "reco-trace 2 " << num_ports << ' ' << coflows.size() << '\n';
+  out << std::setprecision(17);
+  for (const Coflow& c : coflows) {
+    std::vector<std::tuple<int, int, double>> flows;
+    for (int i = 0; i < c.demand.n(); ++i) {
+      for (int j = 0; j < c.demand.n(); ++j) {
+        if (!approx_zero(c.demand.at(i, j))) flows.emplace_back(i, j, c.demand.at(i, j));
+      }
+    }
+    out << c.id << ' ' << c.weight << ' ' << c.arrival << ' ' << flows.size();
+    for (const auto& [i, j, d] : flows) out << ' ' << i << ' ' << j << ' ' << d;
+    out << '\n';
+  }
+}
+
+std::vector<Coflow> read_trace(std::istream& in, int& num_ports) {
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  if (!(in >> magic >> version >> num_ports >> count) || magic != "reco-trace" ||
+      (version != 1 && version != 2)) {
+    throw std::runtime_error("read_trace: bad header");
+  }
+  std::vector<Coflow> coflows;
+  coflows.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    Coflow c;
+    std::size_t num_flows = 0;
+    bool header_ok = static_cast<bool>(in >> c.id >> c.weight);
+    if (header_ok && version >= 2) header_ok = static_cast<bool>(in >> c.arrival);
+    if (!header_ok || !(in >> num_flows)) {
+      throw std::runtime_error("read_trace: truncated coflow record");
+    }
+    c.demand = Matrix(num_ports);
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      int i = 0;
+      int j = 0;
+      double d = 0.0;
+      if (!(in >> i >> j >> d) || i < 0 || i >= num_ports || j < 0 || j >= num_ports) {
+        throw std::runtime_error("read_trace: bad flow record");
+      }
+      c.demand.at(i, j) = d;
+    }
+    coflows.push_back(std::move(c));
+  }
+  return coflows;
+}
+
+void save_trace(const std::string& path, const std::vector<Coflow>& coflows, int num_ports) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  write_trace(out, coflows, num_ports);
+}
+
+std::vector<Coflow> load_trace(const std::string& path, int& num_ports) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  return read_trace(in, num_ports);
+}
+
+}  // namespace reco

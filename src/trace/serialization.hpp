@@ -1,0 +1,24 @@
+// Plain-text trace serialization, loosely following the public
+// Coflow-Benchmark format: one coflow per line,
+//   <id> <weight> <num_flows> { <src> <dst> <demand_seconds> }...
+// so generated workloads can be archived, diffed, and re-loaded.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/coflow.hpp"
+
+namespace reco {
+
+void write_trace(std::ostream& out, const std::vector<Coflow>& coflows, int num_ports);
+
+/// Throws std::runtime_error on malformed input.
+std::vector<Coflow> read_trace(std::istream& in, int& num_ports);
+
+/// Convenience file wrappers.
+void save_trace(const std::string& path, const std::vector<Coflow>& coflows, int num_ports);
+std::vector<Coflow> load_trace(const std::string& path, int& num_ports);
+
+}  // namespace reco

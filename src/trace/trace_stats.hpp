@@ -1,0 +1,35 @@
+// Workload summary statistics: the quantities Tables I and II report.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/coflow.hpp"
+
+namespace reco {
+
+struct WorkloadStats {
+  int num_coflows = 0;
+
+  /// Percentage of coflows per density class (Table I), indexed by
+  /// DensityClass enumerator order: sparse, normal, dense.
+  std::array<double, 3> density_percent{};
+
+  /// Percentage of coflows per transmission mode (Table II "Numbers%"),
+  /// indexed by TransmissionMode order: S2S, S2M, M2S, M2M.
+  std::array<double, 4> mode_count_percent{};
+
+  /// Percentage of total bytes per mode (Table II "Sizes%").
+  std::array<double, 4> mode_size_percent{};
+
+  /// Smallest nonzero demand across the workload (sanity: >= c * delta).
+  Time min_nonzero_demand = 0.0;
+};
+
+WorkloadStats compute_stats(const std::vector<Coflow>& coflows);
+
+/// Render Tables I and II side by side with the paper's published numbers.
+std::string format_stats(const WorkloadStats& stats);
+
+}  // namespace reco

@@ -1,0 +1,87 @@
+#include "bvn/stuffing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bvn/regularization.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+TEST(Stuffing, MakesDoublyStochasticAtRho) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {0, 0, 4}, {5, 0, 0}});
+  const Matrix s = stuff(m);
+  EXPECT_TRUE(s.is_doubly_stochastic(1e-9));
+  EXPECT_DOUBLE_EQ(s.row_sum(0), m.rho());
+}
+
+TEST(Stuffing, OnlyAddsDemand) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 0}});
+  const Matrix s = stuff(m);
+  EXPECT_TRUE(s.covers(m));
+}
+
+TEST(Stuffing, RespectsExplicitTarget) {
+  const Matrix m = Matrix::from_rows({{1, 0}, {0, 1}});
+  const Matrix s = stuff(m, 10.0);
+  EXPECT_TRUE(s.is_doubly_stochastic(1e-9));
+  EXPECT_DOUBLE_EQ(s.row_sum(0), 10.0);
+}
+
+TEST(Stuffing, TargetBelowRhoIgnored) {
+  const Matrix m = Matrix::from_rows({{5, 0}, {0, 5}});
+  const Matrix s = stuff(m, 1.0);
+  EXPECT_DOUBLE_EQ(s.row_sum(0), 5.0);
+}
+
+TEST(Stuffing, AlreadyStochasticUnchanged) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {2, 1}});
+  EXPECT_EQ(stuff(m), m);
+}
+
+TEST(Stuffing, GranularTargetIsQuantumMultiple) {
+  // rho = 250, quantum = 100 -> target 300.
+  const Matrix m = Matrix::from_rows({{250, 0}, {0, 100}});
+  const Matrix s = stuff_granular(m, 100.0);
+  EXPECT_DOUBLE_EQ(s.row_sum(0), 300.0);
+  EXPECT_TRUE(s.is_doubly_stochastic(1e-9));
+}
+
+TEST(Stuffing, GranularOnRegularizedStaysGranular) {
+  // The Reco-Sin invariant: regularized + granular-stuffed => all entries
+  // multiples of delta (so all BvN coefficients will be too).
+  const Matrix m = Matrix::from_rows({{104, 9, 0}, {3, 0, 107}, {0, 101, 55}});
+  const double delta = 100.0;
+  const Matrix s = stuff_granular(regularize(m, delta), delta);
+  EXPECT_TRUE(s.is_granular(delta, 1e-9));
+  EXPECT_TRUE(s.is_doubly_stochastic(1e-9));
+}
+
+TEST(Stuffing, RejectsNonPositiveQuantum) {
+  EXPECT_THROW(stuff_granular(Matrix(2), 0.0), std::invalid_argument);
+}
+
+TEST(StuffingProperty, RandomMatricesStuffCorrectly) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Matrix m = testing::random_demand(rng, 10, 0.4, 0.1, 4.0);
+    const Matrix s = stuff(m);
+    EXPECT_TRUE(s.is_doubly_stochastic(1e-7)) << "trial " << trial;
+    EXPECT_TRUE(s.covers(m)) << "trial " << trial;
+  }
+}
+
+TEST(StuffingProperty, GranularInvariantHoldsOnMicrosecondScale) {
+  Rng rng(43);
+  const double delta = 100e-6;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Matrix m = testing::random_demand(rng, 8, 0.6, 4 * delta, 200 * delta);
+    const Matrix s = stuff_granular(regularize(m, delta), delta);
+    EXPECT_TRUE(s.is_granular(delta, 1e-9)) << "trial " << trial;
+    EXPECT_TRUE(s.is_doubly_stochastic(1e-9)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,31 @@
+#include "core/lower_bound.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reco {
+namespace {
+
+TEST(LowerBound, RhoPlusTauDelta) {
+  // rho = 7 (col 2), tau = 3 (row 0).
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {0, 0, 4}, {5, 0, 0}});
+  EXPECT_DOUBLE_EQ(single_coflow_lower_bound(m, 0.5), 7.0 + 3 * 0.5);
+}
+
+TEST(LowerBound, EmptyMatrixIsZero) {
+  EXPECT_DOUBLE_EQ(single_coflow_lower_bound(Matrix(4), 0.1), 0.0);
+}
+
+TEST(LowerBound, SingleFlow) {
+  Matrix m(3);
+  m.at(1, 2) = 10.0;
+  // One flow: needs one establishment and its own transmission time.
+  EXPECT_DOUBLE_EQ(single_coflow_lower_bound(m, 0.25), 10.25);
+}
+
+TEST(LowerBound, ZeroDeltaReducesToRho) {
+  const Matrix m = Matrix::from_rows({{2, 1}, {1, 2}});
+  EXPECT_DOUBLE_EQ(single_coflow_lower_bound(m, 0.0), 3.0);
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,83 @@
+#include "core/slice.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reco {
+namespace {
+
+Coflow make_coflow(CoflowId id, const Matrix& demand) {
+  Coflow c;
+  c.id = id;
+  c.demand = demand;
+  return c;
+}
+
+TEST(Slice, DurationAndEquality) {
+  const FlowSlice s{1.0, 3.5, 0, 1, 2};
+  EXPECT_DOUBLE_EQ(s.duration(), 2.5);
+  EXPECT_EQ(s, (FlowSlice{1.0, 3.5, 0, 1, 2}));
+}
+
+TEST(Slice, PortFeasibleWhenDisjointInTime) {
+  const SliceSchedule sched{{0, 1, 0, 0, 0}, {1, 2, 0, 0, 1}};
+  EXPECT_TRUE(is_port_feasible(sched));
+}
+
+TEST(Slice, PortInfeasibleOnIngressOverlap) {
+  const SliceSchedule sched{{0, 2, 0, 0, 0}, {1, 3, 0, 1, 1}};
+  EXPECT_FALSE(is_port_feasible(sched));
+}
+
+TEST(Slice, PortInfeasibleOnEgressOverlap) {
+  const SliceSchedule sched{{0, 2, 0, 1, 0}, {1, 3, 1, 1, 1}};
+  EXPECT_FALSE(is_port_feasible(sched));
+}
+
+TEST(Slice, DifferentPortsMayOverlap) {
+  const SliceSchedule sched{{0, 2, 0, 0, 0}, {0, 2, 1, 1, 1}};
+  EXPECT_TRUE(is_port_feasible(sched));
+}
+
+TEST(Slice, BackwardsSliceInfeasible) {
+  const SliceSchedule sched{{2, 1, 0, 0, 0}};
+  EXPECT_FALSE(is_port_feasible(sched));
+}
+
+TEST(Slice, SatisfiesDemandsExactly) {
+  const auto coflows = std::vector<Coflow>{make_coflow(0, Matrix::from_rows({{0, 3}, {0, 0}}))};
+  EXPECT_TRUE(satisfies_demands({{0, 2, 0, 1, 0}, {5, 6, 0, 1, 0}}, coflows));
+  EXPECT_FALSE(satisfies_demands({{0, 2, 0, 1, 0}}, coflows));          // under
+  EXPECT_FALSE(satisfies_demands({{0, 4, 0, 1, 0}}, coflows));          // over
+  EXPECT_FALSE(satisfies_demands({{0, 3, 1, 0, 0}}, coflows));          // wrong flow
+}
+
+TEST(Slice, CompletionTimesPerCoflow) {
+  const SliceSchedule sched{{0, 2, 0, 0, 0}, {1, 5, 1, 1, 0}, {0, 3, 2, 2, 1}};
+  const std::vector<Time> cct = completion_times(sched, 3);
+  EXPECT_DOUBLE_EQ(cct[0], 5.0);
+  EXPECT_DOUBLE_EQ(cct[1], 3.0);
+  EXPECT_DOUBLE_EQ(cct[2], 0.0);  // no slices
+}
+
+TEST(Slice, TotalWeightedCct) {
+  std::vector<Coflow> coflows{make_coflow(0, Matrix(1)), make_coflow(1, Matrix(1))};
+  coflows[0].weight = 2.0;
+  coflows[1].weight = 0.5;
+  EXPECT_DOUBLE_EQ(total_weighted_cct({4.0, 8.0}, coflows), 2.0 * 4.0 + 0.5 * 8.0);
+}
+
+TEST(Slice, StartBatchesDeduplicates) {
+  const SliceSchedule sched{{0, 1, 0, 0, 0}, {0, 2, 1, 1, 0}, {5, 6, 0, 0, 0}};
+  const std::vector<Time> batches = start_batches(sched);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_DOUBLE_EQ(batches[0], 0.0);
+  EXPECT_DOUBLE_EQ(batches[1], 5.0);
+}
+
+TEST(Slice, MakespanIsMaxEnd) {
+  EXPECT_DOUBLE_EQ(makespan({{0, 7, 0, 0, 0}, {1, 3, 1, 1, 0}}), 7.0);
+  EXPECT_DOUBLE_EQ(makespan({}), 0.0);
+}
+
+}  // namespace
+}  // namespace reco

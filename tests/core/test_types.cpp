@@ -1,0 +1,44 @@
+#include "core/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reco {
+namespace {
+
+TEST(Types, ApproxZero) {
+  EXPECT_TRUE(approx_zero(0.0));
+  EXPECT_TRUE(approx_zero(kTimeEps / 2));
+  EXPECT_TRUE(approx_zero(-kTimeEps / 2));
+  EXPECT_FALSE(approx_zero(kTimeEps * 2));
+  EXPECT_FALSE(approx_zero(-kTimeEps * 2));
+}
+
+TEST(Types, ApproxEq) {
+  EXPECT_TRUE(approx_eq(1.0, 1.0));
+  EXPECT_TRUE(approx_eq(1.0, 1.0 + kTimeEps / 2));
+  EXPECT_FALSE(approx_eq(1.0, 1.0 + 10 * kTimeEps));
+}
+
+TEST(Types, ApproxLe) {
+  EXPECT_TRUE(approx_le(1.0, 2.0));
+  EXPECT_TRUE(approx_le(1.0, 1.0));
+  EXPECT_TRUE(approx_le(1.0 + kTimeEps / 2, 1.0));
+  EXPECT_FALSE(approx_le(1.1, 1.0));
+}
+
+TEST(Types, ClampZero) {
+  EXPECT_DOUBLE_EQ(clamp_zero(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(clamp_zero(kTimeEps / 3), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_zero(-kTimeEps / 3), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_zero(-0.5), -0.5);  // real negatives pass through
+}
+
+TEST(Types, ScalesAreOrdered) {
+  // The numerical contract: comparison eps << service quantum << any delta
+  // used in the experiments (>= 1 us).
+  EXPECT_LT(kTimeEps, kMinServiceQuantum);
+  EXPECT_LT(kMinServiceQuantum, 1e-6);
+}
+
+}  // namespace
+}  // namespace reco

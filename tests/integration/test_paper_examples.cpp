@@ -1,0 +1,82 @@
+// Worked examples lifted directly from the paper, checked end to end.
+#include <gtest/gtest.h>
+
+#include "bvn/regularization.hpp"
+#include "core/lower_bound.hpp"
+#include "ocs/all_stop_executor.hpp"
+#include "sched/reco_sin.hpp"
+
+namespace reco {
+namespace {
+
+/// Fig. 2's demand matrix (delta = 100).
+Matrix fig2_demand() {
+  return Matrix::from_rows({{104, 109, 102}, {103, 105, 107}, {108, 101, 106}});
+}
+
+TEST(PaperFig2, RegularizedMatrixIsAllTwoHundreds) {
+  const Matrix r = regularize(fig2_demand(), 100.0);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(r.at(i, j), 200.0);
+  }
+}
+
+TEST(PaperFig2, UnregularizedScheduleFromTheFigure) {
+  // The figure's 5-permutation BvN decomposition of D_ex, replayed.
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 1}, {1, 2}, {2, 0}}, 107.0});
+  s.assignments.push_back({{{0, 0}, {1, 1}, {2, 2}}, 104.0});
+  s.assignments.push_back({{{0, 2}, {1, 0}, {2, 1}}, 104.0});
+  s.assignments.push_back({{{0, 1}, {1, 0}, {2, 2}}, 2.0});
+  s.assignments.push_back({{{0, 2}, {1, 1}, {2, 0}}, 1.0});
+  const ExecutionResult r = execute_all_stop(s, fig2_demand(), 100.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.reconfigurations, 5);
+  // The paper quotes 815 with slightly inconsistent arithmetic (it charges
+  // 101 for the third establishment although its bottleneck circuit needs
+  // 103).  With consistent early-stop semantics the holds are
+  // 107 + 104 + 103 + 2 + 1 = 317, so the CCT is 817.
+  EXPECT_DOUBLE_EQ(r.transmission_time, 317.0);
+  EXPECT_DOUBLE_EQ(r.cct, 817.0);
+}
+
+TEST(PaperFig2, RegularizedScheduleFromTheFigure) {
+  // The figure's 3-permutation decomposition of the regularized matrix.
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 0}, {1, 1}, {2, 2}}, 200.0});
+  s.assignments.push_back({{{0, 1}, {1, 2}, {2, 0}}, 200.0});
+  s.assignments.push_back({{{0, 2}, {1, 0}, {2, 1}}, 200.0});
+  const ExecutionResult r = execute_all_stop(s, fig2_demand(), 100.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.reconfigurations, 3);
+  // Exactly the paper's arithmetic: (106 + 109 + 103) + 3 * 100 = 618.
+  EXPECT_DOUBLE_EQ(r.transmission_time, 106.0 + 109.0 + 103.0);
+  EXPECT_DOUBLE_EQ(r.cct, 618.0);
+}
+
+TEST(PaperFig2, RecoSinMatchesTheRegularizedBehaviour) {
+  // Reco-Sin end to end on D_ex: three establishments, CCT in the vicinity
+  // of 618 (the permutation split may differ, changing the per-assignment
+  // maxima by a few units), always beating the figure's 815/817 and within
+  // 2x of the lower bound.
+  const Matrix d = fig2_demand();
+  const CircuitSchedule s = reco_sin(d, 100.0);
+  EXPECT_EQ(s.num_assignments(), 3);
+  const ExecutionResult r = execute_all_stop(s, d, 100.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.reconfigurations, 3);
+  EXPECT_LT(r.cct, 700.0);
+  EXPECT_GT(r.cct, 600.0);
+  EXPECT_LE(r.cct, 2.0 * single_coflow_lower_bound(d, 100.0));
+}
+
+TEST(PaperSec2, LowerBoundOnFig2) {
+  // rho = max row/col sum of D_ex; tau = 3.
+  const Matrix d = fig2_demand();
+  EXPECT_DOUBLE_EQ(d.rho(), 104 + 109 + 102 + 0.0);  // row 0 wins? verify below
+  // Row sums: 315, 315, 315; col sums: 315, 315, 315 -- perfectly balanced.
+  EXPECT_DOUBLE_EQ(single_coflow_lower_bound(d, 100.0), 315.0 + 300.0);
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,121 @@
+// End-to-end pipeline tests on generated workloads: every algorithm must
+// produce feasible schedules that serve every demand, and the cross-
+// algorithm relationships the paper reports must hold directionally.
+#include <gtest/gtest.h>
+
+#include "core/lower_bound.hpp"
+#include "core/slice.hpp"
+#include "ocs/all_stop_executor.hpp"
+#include "ocs/not_all_stop_executor.hpp"
+#include "sched/bvn_baseline.hpp"
+#include "sched/multi_baselines.hpp"
+#include "sched/reco_sin.hpp"
+#include "sched/solstice.hpp"
+#include "trace/generator.hpp"
+
+namespace reco {
+namespace {
+
+GeneratorOptions small_options(std::uint64_t seed) {
+  GeneratorOptions o;
+  o.num_ports = 24;
+  o.num_coflows = 40;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Pipelines, EverySingleCoflowAlgorithmServesEveryDemand) {
+  const GeneratorOptions o = small_options(201);
+  const auto coflows = generate_workload(o);
+  for (const Coflow& c : coflows) {
+    for (const CircuitSchedule& s :
+         {reco_sin(c.demand, o.delta), solstice(c.demand), bvn_baseline(c.demand)}) {
+      ASSERT_TRUE(s.is_valid(o.num_ports)) << "coflow " << c.id;
+      ASSERT_TRUE(execute_all_stop(s, c.demand, o.delta).satisfied) << "coflow " << c.id;
+    }
+  }
+}
+
+TEST(Pipelines, RecoSinWithinTheoremTwoBoundOnTrace) {
+  const GeneratorOptions o = small_options(202);
+  for (const Coflow& c : generate_workload(o)) {
+    const ExecutionResult r = execute_all_stop(reco_sin(c.demand, o.delta), c.demand, o.delta);
+    ASSERT_TRUE(r.satisfied);
+    EXPECT_LE(r.cct, 2.0 * single_coflow_lower_bound(c.demand, o.delta) + 1e-9)
+        << "coflow " << c.id;
+  }
+}
+
+TEST(Pipelines, LowerBoundNeverBeatenByAnyAlgorithm) {
+  const GeneratorOptions o = small_options(203);
+  for (const Coflow& c : generate_workload(o)) {
+    const Time lb = single_coflow_lower_bound(c.demand, o.delta);
+    EXPECT_GE(execute_all_stop(reco_sin(c.demand, o.delta), c.demand, o.delta).cct, lb - 1e-9);
+    EXPECT_GE(execute_all_stop(solstice(c.demand), c.demand, o.delta).cct, lb - 1e-9);
+    EXPECT_GE(execute_all_stop(bvn_baseline(c.demand), c.demand, o.delta).cct, lb - 1e-9);
+  }
+}
+
+TEST(Pipelines, RecoSinBeatsSolsticeOnAggregateCct) {
+  const GeneratorOptions o = small_options(204);
+  double reco_total = 0.0;
+  double solstice_total = 0.0;
+  for (const Coflow& c : generate_workload(o)) {
+    reco_total += execute_all_stop(reco_sin(c.demand, o.delta), c.demand, o.delta).cct;
+    solstice_total += execute_all_stop(solstice(c.demand), c.demand, o.delta).cct;
+  }
+  EXPECT_LT(reco_total, solstice_total);
+}
+
+TEST(Pipelines, NotAllStopNeverWorseThanAllStop) {
+  const GeneratorOptions o = small_options(205);
+  const auto coflows = generate_workload(o);
+  for (int k = 0; k < 10; ++k) {
+    const Coflow& c = coflows[k];
+    const CircuitSchedule s = reco_sin(c.demand, o.delta);
+    EXPECT_LE(execute_not_all_stop(s, c.demand, o.delta).cct,
+              execute_all_stop(s, c.demand, o.delta).cct + 1e-9)
+        << "coflow " << k;
+  }
+}
+
+TEST(Pipelines, MultiCoflowSchedulesAreFeasibleAndComplete) {
+  GeneratorOptions o = small_options(206);
+  o.num_coflows = 25;
+  const auto coflows = generate_workload(o);
+  const MultiScheduleResult reco = reco_mul_pipeline(coflows, o.delta, o.c_threshold);
+  const MultiScheduleResult sebf = sebf_solstice(coflows, o.delta);
+  const MultiScheduleResult lp = lp_ii_gb(coflows, o.delta);
+  for (const MultiScheduleResult* r : {&reco, &sebf, &lp}) {
+    EXPECT_TRUE(is_port_feasible(r->schedule));
+    for (const Coflow& c : coflows) {
+      EXPECT_GE(r->cct[c.id], c.demand.rho() - 1e-9) << "coflow " << c.id;
+    }
+  }
+  // Sequential baselines serve demands exactly on the real-time axis.
+  EXPECT_TRUE(satisfies_demands(sebf.schedule, coflows));
+  EXPECT_TRUE(satisfies_demands(lp.schedule, coflows));
+}
+
+TEST(Pipelines, RecoMulBeatsBaselinesOnGeneratedTrace) {
+  GeneratorOptions o = small_options(207);
+  o.num_coflows = 30;
+  const auto coflows = generate_workload(o);
+  const double reco = reco_mul_pipeline(coflows, o.delta, o.c_threshold).total_weighted_cct;
+  const double lp = lp_ii_gb(coflows, o.delta).total_weighted_cct;
+  const double sebf = sebf_solstice(coflows, o.delta).total_weighted_cct;
+  EXPECT_LT(reco, lp);
+  EXPECT_LT(reco, sebf);
+}
+
+TEST(Pipelines, RecoMulReconfigurationsBelowLpIiGb) {
+  GeneratorOptions o = small_options(208);
+  o.num_coflows = 30;
+  const auto coflows = generate_workload(o);
+  const MultiScheduleResult reco = reco_mul_pipeline(coflows, o.delta, o.c_threshold);
+  const MultiScheduleResult lp = lp_ii_gb(coflows, o.delta);
+  EXPECT_LT(reco.reconfigurations, lp.reconfigurations);
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,88 @@
+#include "matching/bottleneck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+/// Oracle: max over all permutations of (min entry along the permutation,
+/// permutations through a zero entry excluded).
+double brute_force_bottleneck(const Matrix& m) {
+  const int n = m.n();
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = 0.0;
+  do {
+    double mn = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) mn = std::min(mn, m.at(i, perm[i]));
+    if (!approx_zero(mn)) best = std::max(best, mn);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(Bottleneck, SimpleDiagonalWins) {
+  const Matrix m = Matrix::from_rows({{5, 1}, {1, 5}});
+  const auto r = bottleneck_perfect_matching(m);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->bottleneck, 5.0);
+  EXPECT_EQ(r->pairs[0].second, 0);
+  EXPECT_EQ(r->pairs[1].second, 1);
+}
+
+TEST(Bottleneck, ForcedThroughSmallEntry) {
+  // Any perfect matching must use an entry of value 1.
+  const Matrix m = Matrix::from_rows({{1, 9}, {0, 1}});
+  const auto r = bottleneck_perfect_matching(m);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->bottleneck, 1.0);
+}
+
+TEST(Bottleneck, NoPerfectMatchingReturnsNullopt) {
+  Matrix m(2);
+  m.at(0, 0) = 1.0;
+  m.at(1, 0) = 1.0;  // both rows need column 0
+  EXPECT_FALSE(bottleneck_perfect_matching(m).has_value());
+}
+
+TEST(Bottleneck, AllZeroMatrixReturnsNullopt) {
+  EXPECT_FALSE(bottleneck_perfect_matching(Matrix(3)).has_value());
+}
+
+TEST(Bottleneck, MatchingIsPerfectAndOnSupport) {
+  Rng rng(3);
+  const Matrix m = testing::random_doubly_stochastic(rng, 6, 4, 1.0, 5.0);
+  const auto r = bottleneck_perfect_matching(m);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->pairs.size(), 6u);
+  std::vector<char> col_used(6, 0);
+  for (const auto& [i, j] : r->pairs) {
+    EXPECT_GE(m.at(i, j), r->bottleneck - kTimeEps);
+    EXPECT_FALSE(col_used[j]);
+    col_used[j] = 1;
+  }
+}
+
+TEST(BottleneckProperty, MatchesBruteForce) {
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = rng.uniform_int(2, 5);
+    Matrix m = testing::random_demand(rng, n, 0.8, 1.0, 20.0);
+    const double oracle = brute_force_bottleneck(m);
+    const auto r = bottleneck_perfect_matching(m);
+    if (oracle == 0.0) {
+      EXPECT_FALSE(r.has_value()) << "trial " << trial;
+    } else {
+      ASSERT_TRUE(r.has_value()) << "trial " << trial;
+      EXPECT_NEAR(r->bottleneck, oracle, 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reco

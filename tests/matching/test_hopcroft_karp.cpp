@@ -1,0 +1,114 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+/// Brute-force maximum matching size by trying all column permutations
+/// (only for tiny n) -- the oracle for property tests.
+int brute_force_max_matching(int n, const std::vector<std::vector<int>>& adj) {
+  std::vector<std::vector<char>> edge(n, std::vector<char>(n, 0));
+  for (int i = 0; i < n; ++i) {
+    for (int j : adj[i]) edge[i][j] = 1;
+  }
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  int best = 0;
+  do {
+    int size = 0;
+    for (int i = 0; i < n; ++i) size += edge[i][perm[i]];
+    best = std::max(best, size);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  const MatchingResult r = hopcroft_karp(3, 3, {{}, {}, {}});
+  EXPECT_EQ(r.size, 0);
+  EXPECT_FALSE(r.is_perfect());
+}
+
+TEST(HopcroftKarp, PerfectOnIdentity) {
+  const MatchingResult r = hopcroft_karp(3, 3, {{0}, {1}, {2}});
+  EXPECT_EQ(r.size, 3);
+  EXPECT_TRUE(r.is_perfect());
+  EXPECT_EQ(r.match_left[1], 1);
+  EXPECT_EQ(r.match_right[2], 2);
+}
+
+TEST(HopcroftKarp, AugmentingPathNeeded) {
+  // Greedy 0->0 would block 1; HK must find the augmenting path.
+  const MatchingResult r = hopcroft_karp(2, 2, {{0, 1}, {0}});
+  EXPECT_EQ(r.size, 2);
+}
+
+TEST(HopcroftKarp, MatchingIsConsistent) {
+  const MatchingResult r = hopcroft_karp(4, 4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(r.size, 4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_NE(r.match_left[i], -1);
+    EXPECT_EQ(r.match_right[r.match_left[i]], i);
+  }
+}
+
+TEST(HopcroftKarp, RectangularGraph) {
+  const MatchingResult r = hopcroft_karp(2, 3, {{0, 1, 2}, {2}});
+  EXPECT_EQ(r.size, 2);
+}
+
+TEST(HopcroftKarpProperty, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = rng.uniform_int(1, 6);
+    std::vector<std::vector<int>> adj(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (rng.uniform() < 0.4) adj[i].push_back(j);
+      }
+    }
+    EXPECT_EQ(hopcroft_karp(n, n, adj).size, brute_force_max_matching(n, adj))
+        << "trial " << trial;
+  }
+}
+
+TEST(ThresholdHelpers, AdjacencyRespectsThreshold) {
+  const Matrix m = Matrix::from_rows({{5, 1}, {2, 8}});
+  const auto adj = threshold_adjacency(m, 2.0);
+  EXPECT_EQ(adj[0], (std::vector<int>{0}));
+  EXPECT_EQ(adj[1], (std::vector<int>{0, 1}));
+}
+
+TEST(ThresholdHelpers, PerfectMatchingAtThreshold) {
+  const Matrix m = Matrix::from_rows({{5, 1}, {2, 8}});
+  EXPECT_TRUE(has_perfect_matching_at(m, 2.0));   // (0,0) and (1,1)
+  EXPECT_TRUE(has_perfect_matching_at(m, 5.0));   // (0,0) and (1,1)
+  EXPECT_FALSE(has_perfect_matching_at(m, 6.0));  // only (1,1) survives
+}
+
+TEST(ThresholdHelpers, ZeroEntriesNeverEdges) {
+  Matrix m(2);
+  m.at(0, 1) = 1.0;
+  m.at(1, 0) = 1.0;
+  EXPECT_TRUE(has_perfect_matching_at(m, 0.5));
+  EXPECT_FALSE(has_perfect_matching_at(m, 1.5));
+}
+
+TEST(ThresholdHelpersProperty, PerfectMatchingExistsOnDoublyStochasticSupport) {
+  // Birkhoff: every doubly stochastic matrix has a perfect matching on its
+  // nonzero support.
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Matrix m = testing::random_doubly_stochastic(rng, 8, 5, 0.5, 2.0);
+    EXPECT_TRUE(has_perfect_matching_at(m, m.min_nonzero()));
+  }
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,71 @@
+#include "matching/hungarian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+double brute_force_min_cost(const Matrix& cost) {
+  const int n = cost.n();
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += cost.at(i, perm[i]);
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(Hungarian, TrivialDiagonal) {
+  const Matrix cost = Matrix::from_rows({{1, 9}, {9, 1}});
+  const AssignmentResult r = min_cost_assignment(cost);
+  EXPECT_DOUBLE_EQ(r.total, 2.0);
+  EXPECT_EQ(r.col_of_row[0], 0);
+  EXPECT_EQ(r.col_of_row[1], 1);
+}
+
+TEST(Hungarian, AntiDiagonalForced) {
+  const Matrix cost = Matrix::from_rows({{9, 1}, {1, 9}});
+  EXPECT_DOUBLE_EQ(min_cost_assignment(cost).total, 2.0);
+}
+
+TEST(Hungarian, AssignmentIsPermutation) {
+  Rng rng(5);
+  const Matrix cost = testing::random_demand(rng, 7, 1.0, 0.0, 10.0);
+  const AssignmentResult r = min_cost_assignment(cost);
+  std::vector<char> used(7, 0);
+  for (int j : r.col_of_row) {
+    ASSERT_GE(j, 0);
+    ASSERT_LT(j, 7);
+    EXPECT_FALSE(used[j]);
+    used[j] = 1;
+  }
+}
+
+TEST(Hungarian, MaxWeightNegatesCorrectly) {
+  const Matrix w = Matrix::from_rows({{1, 9}, {9, 1}});
+  const AssignmentResult r = max_weight_assignment(w);
+  EXPECT_DOUBLE_EQ(r.total, 18.0);
+  EXPECT_EQ(r.col_of_row[0], 1);
+}
+
+TEST(HungarianProperty, MatchesBruteForce) {
+  Rng rng(29);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = rng.uniform_int(2, 6);
+    const Matrix cost = testing::random_demand(rng, n, 1.0, -5.0, 15.0);
+    EXPECT_NEAR(min_cost_assignment(cost).total, brute_force_min_cost(cost), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace reco

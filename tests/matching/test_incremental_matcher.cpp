@@ -1,0 +1,99 @@
+#include "matching/incremental_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/hopcroft_karp.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+TEST(IncrementalMatcher, InitialRematchFindsMaximum) {
+  const Matrix m = Matrix::from_rows({{5, 1}, {2, 8}});
+  IncrementalMatcher matcher(m, 0.5);
+  EXPECT_EQ(matcher.rematch(), 2);
+  EXPECT_TRUE(matcher.is_perfect());
+}
+
+TEST(IncrementalMatcher, ThresholdExcludesSmallEntries) {
+  const Matrix m = Matrix::from_rows({{5, 1}, {2, 8}});
+  IncrementalMatcher matcher(m, 6.0);
+  EXPECT_EQ(matcher.rematch(), 1);  // only the 8 qualifies
+  EXPECT_FALSE(matcher.is_perfect());
+}
+
+TEST(IncrementalMatcher, LoweringThresholdGrowsMatching) {
+  const Matrix m = Matrix::from_rows({{5, 1}, {2, 8}});
+  IncrementalMatcher matcher(m, 6.0);
+  matcher.rematch();
+  matcher.set_threshold(2.0);
+  EXPECT_EQ(matcher.rematch(), 2);
+}
+
+TEST(IncrementalMatcher, RaisingThresholdDropsInvalidEdges) {
+  const Matrix m = Matrix::from_rows({{5, 1}, {2, 8}});
+  IncrementalMatcher matcher(m, 0.5);
+  matcher.rematch();
+  matcher.set_threshold(6.0);
+  // Whatever perfect matching was found, at most the (1,1)=8 edge survives.
+  EXPECT_LE(matcher.size(), 1);
+  EXPECT_EQ(matcher.rematch(), 1);
+  EXPECT_EQ(matcher.matched_col(1), 1);
+}
+
+TEST(IncrementalMatcher, EntryChangeUnmatchesZeroedEdge) {
+  Matrix m = Matrix::from_rows({{5, 0}, {0, 8}});
+  IncrementalMatcher matcher(m, 0.5);
+  matcher.rematch();
+  ASSERT_TRUE(matcher.is_perfect());
+  m.at(0, 0) = 0.0;
+  matcher.on_entry_changed(0, 0);
+  EXPECT_EQ(matcher.size(), 1);
+  // No alternative for row 0 now.
+  EXPECT_EQ(matcher.rematch(), 1);
+}
+
+TEST(IncrementalMatcher, RepairViaAugmentingPath) {
+  Matrix m = Matrix::from_rows({{5, 3}, {4, 0}});
+  IncrementalMatcher matcher(m, 0.5);
+  ASSERT_EQ(matcher.rematch(), 2);  // must be (0,1),(1,0)
+  // Kill (1,0): row 1 has no other edge -> matching drops to 1 permanently.
+  m.at(1, 0) = 0.0;
+  matcher.on_entry_changed(1, 0);
+  EXPECT_EQ(matcher.rematch(), 1);
+  // Row 0 should still be matched to something present.
+  EXPECT_NE(matcher.matched_col(0), -1);
+}
+
+TEST(IncrementalMatcher, PairsSnapshot) {
+  const Matrix m = Matrix::from_rows({{1, 0}, {0, 1}});
+  IncrementalMatcher matcher(m, 0.5);
+  matcher.rematch();
+  const auto pairs = matcher.pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(pairs[1], (std::pair<int, int>{1, 1}));
+}
+
+TEST(IncrementalMatcherProperty, AgreesWithHopcroftKarpUnderRandomDeletions) {
+  Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    Matrix m = testing::random_demand(rng, 8, 0.6, 1.0, 10.0);
+    IncrementalMatcher matcher(m, 0.5);
+    matcher.rematch();
+    for (int step = 0; step < 12; ++step) {
+      // Delete a random nonzero entry.
+      const int i = rng.uniform_int(8);
+      const int j = rng.uniform_int(8);
+      m.at(i, j) = 0.0;
+      matcher.on_entry_changed(i, j);
+      matcher.rematch();
+      EXPECT_EQ(matcher.size(), threshold_matching(m, 0.5).size)
+          << "trial " << trial << " step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reco

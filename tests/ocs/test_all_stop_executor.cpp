@@ -1,0 +1,100 @@
+#include "ocs/all_stop_executor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reco {
+namespace {
+
+TEST(AllStopExecutor, SingleAssignmentExactDemand) {
+  const Matrix demand = Matrix::from_rows({{0, 5}, {3, 0}});
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 1}, {1, 0}}, 5.0});
+  const ExecutionResult r = execute_all_stop(s, demand, 1.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.reconfigurations, 1);
+  EXPECT_DOUBLE_EQ(r.transmission_time, 5.0);
+  EXPECT_DOUBLE_EQ(r.reconfiguration_time, 1.0);
+  EXPECT_DOUBLE_EQ(r.cct, 6.0);
+}
+
+TEST(AllStopExecutor, EarlyStopWhenResidualFinishes) {
+  // Planned duration 10 but the largest residual is 4: hold only 4.
+  const Matrix demand = Matrix::from_rows({{0, 4}, {2, 0}});
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 1}, {1, 0}}, 10.0});
+  const ExecutionResult r = execute_all_stop(s, demand, 0.5);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_DOUBLE_EQ(r.transmission_time, 4.0);
+  EXPECT_DOUBLE_EQ(r.cct, 4.5);
+}
+
+TEST(AllStopExecutor, SkipsUselessAssignments) {
+  const Matrix demand = Matrix::from_rows({{0, 2}, {0, 0}});
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 1}}, 2.0});
+  s.assignments.push_back({{{0, 1}}, 2.0});  // nothing left: must not reconfigure
+  s.assignments.push_back({{{1, 0}}, 2.0});  // no demand at all on (1,0)
+  const ExecutionResult r = execute_all_stop(s, demand, 1.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.reconfigurations, 1);
+  EXPECT_DOUBLE_EQ(r.cct, 3.0);
+}
+
+TEST(AllStopExecutor, PartialServiceLeavesResidual) {
+  const Matrix demand = Matrix::from_rows({{0, 5}, {0, 0}});
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 1}}, 2.0});
+  const ExecutionResult r = execute_all_stop(s, demand, 1.0);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_DOUBLE_EQ(r.residual.at(0, 1), 3.0);
+}
+
+TEST(AllStopExecutor, CircuitStopsWhenItsOwnDemandDone) {
+  // Circuit (0,1) has 1 unit, (1,0) has 5: the establishment is held 5 but
+  // (0,1) only transmits 1.
+  const Matrix demand = Matrix::from_rows({{0, 1}, {5, 0}});
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 1}, {1, 0}}, 5.0});
+  SliceSchedule slices;
+  const ExecutionResult r = execute_all_stop(s, demand, 1.0, 0.0, 7, &slices);
+  EXPECT_TRUE(r.satisfied);
+  ASSERT_EQ(slices.size(), 2u);
+  // Both slices start right after the reconfiguration.
+  EXPECT_DOUBLE_EQ(slices[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(slices[0].end, 2.0);   // the 1-unit flow
+  EXPECT_DOUBLE_EQ(slices[1].end, 6.0);   // the 5-unit flow
+  EXPECT_EQ(slices[0].coflow, 7);
+}
+
+TEST(AllStopExecutor, StartClockOffsetsSlices) {
+  const Matrix demand = Matrix::from_rows({{2}});
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 0}}, 2.0});
+  SliceSchedule slices;
+  const ExecutionResult r = execute_all_stop(s, demand, 1.0, 10.0, 0, &slices);
+  EXPECT_DOUBLE_EQ(r.cct, 3.0);  // cct is relative to the coflow's start
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_DOUBLE_EQ(slices[0].start, 11.0);
+  EXPECT_DOUBLE_EQ(slices[0].end, 13.0);
+}
+
+TEST(AllStopExecutor, EmptyScheduleEmptyDemand) {
+  const ExecutionResult r = execute_all_stop(CircuitSchedule{}, Matrix(3), 1.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_DOUBLE_EQ(r.cct, 0.0);
+  EXPECT_EQ(r.reconfigurations, 0);
+}
+
+TEST(AllStopExecutor, MultipleAssignmentsAccumulate) {
+  const Matrix demand = Matrix::from_rows({{0, 3}, {4, 0}});
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 1}}, 3.0});
+  s.assignments.push_back({{{1, 0}}, 4.0});
+  const ExecutionResult r = execute_all_stop(s, demand, 0.25);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.reconfigurations, 2);
+  EXPECT_DOUBLE_EQ(r.cct, 3.0 + 4.0 + 2 * 0.25);
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,91 @@
+// Edge semantics of the analytic executors: the service-quantum floor,
+// slice emission, and not-all-stop peer tracking.
+#include <gtest/gtest.h>
+
+#include "ocs/all_stop_executor.hpp"
+#include "ocs/not_all_stop_executor.hpp"
+
+namespace reco {
+namespace {
+
+TEST(ExecutorEdge, SubQuantumResidualNeverPaysReconfiguration) {
+  Matrix d(2);
+  d.at(0, 0) = kMinServiceQuantum / 2;  // round-off-scale "demand"
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 0}}, 1.0});
+  const ExecutionResult r = execute_all_stop(s, d, 0.5);
+  EXPECT_EQ(r.reconfigurations, 0);
+  EXPECT_DOUBLE_EQ(r.cct, 0.0);
+  EXPECT_TRUE(r.satisfied);  // below the quantum counts as served
+}
+
+TEST(ExecutorEdge, MixedQuantumAssignmentServesOnlyRealDemand) {
+  Matrix d(2);
+  d.at(0, 0) = kMinServiceQuantum / 2;
+  d.at(1, 1) = 2.0;
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 0}, {1, 1}}, 2.0});
+  SliceSchedule slices;
+  const ExecutionResult r = execute_all_stop(s, d, 0.5, 0.0, 0, &slices);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.reconfigurations, 1);
+  // The crumb is not worth a slice.
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].src, 1);
+}
+
+TEST(ExecutorEdge, SlicesComeOutInAssignmentOrder) {
+  Matrix d(2);
+  d.at(0, 1) = 1.0;
+  d.at(1, 0) = 1.0;
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 1}}, 1.0});
+  s.assignments.push_back({{{1, 0}}, 1.0});
+  SliceSchedule slices;
+  execute_all_stop(s, d, 0.25, 0.0, 3, &slices);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_LT(slices[0].start, slices[1].start);
+  EXPECT_EQ(slices[0].coflow, 3);
+}
+
+TEST(ExecutorEdge, NotAllStopPeerTrackingAcrossAssignments) {
+  // (0,0) held in assignments 1 and 3 with (0,1) in between: the return to
+  // (0,0) must pay a fresh setup because port 0 was re-wired.
+  Matrix d(2);
+  d.at(0, 0) = 2.0;
+  d.at(0, 1) = 1.0;
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 0}}, 1.0});
+  s.assignments.push_back({{{0, 1}}, 1.0});
+  s.assignments.push_back({{{0, 0}}, 1.0});
+  const ExecutionResult r = execute_not_all_stop(s, d, 0.5);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.reconfigurations, 3);  // every hop re-wires ingress port 0
+  EXPECT_DOUBLE_EQ(r.cct, 3 * 0.5 + 3.0);
+}
+
+TEST(ExecutorEdge, ResidualMatrixReflectsPartialService) {
+  Matrix d(2);
+  d.at(0, 0) = 5.0;
+  d.at(1, 1) = 5.0;
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 0}}, 2.0});
+  const ExecutionResult r = execute_all_stop(s, d, 0.1);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_DOUBLE_EQ(r.residual.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(r.residual.at(1, 1), 5.0);
+}
+
+TEST(ExecutorEdge, ZeroDeltaIsLegal) {
+  Matrix d(1);
+  d.at(0, 0) = 1.0;
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 0}}, 1.0});
+  const ExecutionResult r = execute_all_stop(s, d, 0.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_DOUBLE_EQ(r.cct, 1.0);
+  EXPECT_EQ(r.reconfigurations, 1);  // counted, but free
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "ocs/slice_executor.hpp"
+#include "sched/ordering.hpp"
+#include "sched/packet_scheduler.hpp"
+#include "sched/reco_mul.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+TEST(NasSlices, SingleFlowPaysOneDelta) {
+  const SliceSchedule pseudo{{0, 5, 0, 1, 0}};
+  const SliceSchedule real = realize_not_all_stop(pseudo, 1.0);
+  ASSERT_EQ(real.size(), 1u);
+  EXPECT_DOUBLE_EQ(real[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(real[0].end, 6.0);
+}
+
+TEST(NasSlices, DisjointFlowsDoNotDelayEachOther) {
+  // Unlike all-stop inflation, batches on other ports cost nothing here.
+  const SliceSchedule pseudo{{0, 2, 0, 0, 0}, {1, 3, 1, 1, 1}};
+  const SliceSchedule real = realize_not_all_stop(pseudo, 0.5);
+  EXPECT_DOUBLE_EQ(real[0].start, 0.5);
+  EXPECT_DOUBLE_EQ(real[0].end, 2.5);
+  EXPECT_DOUBLE_EQ(real[1].start, 1.5);
+  EXPECT_DOUBLE_EQ(real[1].end, 3.5);
+}
+
+TEST(NasSlices, SamePortFlowsSerializeWithSetups) {
+  const SliceSchedule pseudo{{0, 2, 0, 0, 0}, {2, 3, 0, 1, 1}};
+  const SliceSchedule real = realize_not_all_stop(pseudo, 1.0);
+  // First: [1,3).  Second: max(2, 3) + 1 = 4 -> [4,5).
+  EXPECT_DOUBLE_EQ(real[1].start, 4.0);
+  EXPECT_TRUE(is_port_feasible(real));
+}
+
+TEST(NasSlices, PreservesDurations) {
+  Rng rng(421);
+  const auto coflows = testing::random_workload(rng, 6, 4, 0.02, 4.0);
+  const SliceSchedule pseudo = packet_schedule(coflows, bssi_order(coflows));
+  const SliceSchedule real = realize_not_all_stop(pseudo, 0.02);
+  ASSERT_EQ(real.size(), pseudo.size());
+  for (std::size_t f = 0; f < pseudo.size(); ++f) {
+    EXPECT_NEAR(real[f].duration(), pseudo[f].duration(), 1e-9);
+  }
+}
+
+TEST(NasSlices, AlwaysPortFeasibleEvenOnInfeasiblePseudoInput) {
+  // The realization re-serializes per port, so even a deliberately
+  // overlapping pseudo schedule comes out feasible.
+  const SliceSchedule overlapping{{0, 2, 0, 0, 0}, {1, 3, 0, 1, 1}};
+  EXPECT_FALSE(is_port_feasible(overlapping));
+  EXPECT_TRUE(is_port_feasible(realize_not_all_stop(overlapping, 0.1)));
+}
+
+TEST(NasSlices, NeverSlowerThanAllStopInflationOnRecoMul) {
+  // Sec. VI: a feasible all-stop schedule is feasible not-all-stop, and the
+  // per-port model can only help (no global halts).
+  Rng rng(422);
+  const Time delta = 0.02;
+  const double c = 4.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto coflows = testing::random_workload(rng, 8, 6, delta, c);
+    const SliceSchedule packet = packet_schedule(coflows, bssi_order(coflows));
+    const RecoMulSchedule rm = reco_mul_transform(packet, delta, c);
+    const SliceSchedule nas = realize_not_all_stop(rm.pseudo, delta);
+    const auto all_stop_cct = completion_times(rm.real, static_cast<int>(coflows.size()));
+    const auto nas_cct = completion_times(nas, static_cast<int>(coflows.size()));
+    double all_stop_sum = 0.0;
+    double nas_sum = 0.0;
+    for (std::size_t k = 0; k < coflows.size(); ++k) {
+      all_stop_sum += all_stop_cct[k];
+      nas_sum += nas_cct[k];
+    }
+    EXPECT_LE(nas_sum, all_stop_sum + 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace reco

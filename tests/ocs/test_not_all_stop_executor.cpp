@@ -1,0 +1,67 @@
+#include "ocs/not_all_stop_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bvn/stuffing.hpp"
+#include "bvn/bvn.hpp"
+#include "ocs/all_stop_executor.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+TEST(NotAllStopExecutor, SingleAssignmentMatchesAllStop) {
+  const Matrix demand = Matrix::from_rows({{0, 5}, {3, 0}});
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 1}, {1, 0}}, 5.0});
+  const ExecutionResult r = execute_not_all_stop(s, demand, 1.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_DOUBLE_EQ(r.cct, 6.0);  // one delta + the longer circuit
+}
+
+TEST(NotAllStopExecutor, UnchangedCircuitPaysNoDelta) {
+  // Same circuit in two consecutive assignments: second establishment free.
+  const Matrix demand = Matrix::from_rows({{4}});
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 0}}, 2.0});
+  s.assignments.push_back({{{0, 0}}, 2.0});
+  const ExecutionResult r = execute_not_all_stop(s, demand, 1.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.reconfigurations, 1);
+  EXPECT_DOUBLE_EQ(r.cct, 1.0 + 4.0);
+}
+
+TEST(NotAllStopExecutor, DisjointCircuitsReconfigureIndependently) {
+  // (0,0) runs long; (1,1) then (1,0)... port 1 reconfigures while port 0
+  // keeps transmitting -- the not-all-stop advantage.
+  Matrix demand(2);
+  demand.at(0, 0) = 10.0;
+  demand.at(1, 1) = 2.0;
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 0}, {1, 1}}, 10.0});
+  const ExecutionResult r = execute_not_all_stop(s, demand, 1.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_DOUBLE_EQ(r.cct, 11.0);
+}
+
+TEST(NotAllStopExecutor, NeverSlowerThanAllStopOnSameSchedule) {
+  Rng rng(61);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Matrix demand = testing::random_demand(rng, 6, 0.5, 0.5, 4.0);
+    const CircuitSchedule s = bvn_decompose(stuff(demand), BvnPolicy::kFirstMatching);
+    const ExecutionResult all_stop = execute_all_stop(s, demand, 0.1);
+    const ExecutionResult not_all_stop = execute_not_all_stop(s, demand, 0.1);
+    EXPECT_TRUE(not_all_stop.satisfied) << "trial " << trial;
+    EXPECT_LE(not_all_stop.cct, all_stop.cct + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(NotAllStopExecutor, EmptySchedule) {
+  const ExecutionResult r = execute_not_all_stop(CircuitSchedule{}, Matrix(2), 1.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_DOUBLE_EQ(r.cct, 0.0);
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,135 @@
+// Cross-cutting randomized invariants: every scheduler in the library,
+// hammered over many seeds with one shared set of "laws".  These are the
+// regressions most likely to catch a subtle break when any module changes:
+//
+//   L1  every single-coflow schedule is port-valid and serves its demand;
+//   L2  no algorithm ever beats the rho + tau*delta lower bound;
+//   L3  Reco-Sin stays within Theorem 2's factor of that bound;
+//   L4  multi-coflow schedules are port-feasible and every coflow's CCT
+//       is at least its own bottleneck;
+//   L5  the event-driven fabric agrees with the analytic executors;
+//   L6  determinism: same seed => bit-identical outcomes.
+#include <gtest/gtest.h>
+
+#include "core/lower_bound.hpp"
+#include "core/slice.hpp"
+#include "ocs/all_stop_executor.hpp"
+#include "sched/bvn_baseline.hpp"
+#include "sched/multi_baselines.hpp"
+#include "sched/reco_sin.hpp"
+#include "sched/solstice.hpp"
+#include "sched/sunflow.hpp"
+#include "sched/tms.hpp"
+#include "sim/fabric.hpp"
+#include "testing_util.hpp"
+#include "trace/generator.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+class SingleCoflowLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SingleCoflowLaws,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110));
+
+TEST_P(SingleCoflowLaws, AllSchedulersServeAllDemandsAboveLowerBound) {
+  Rng rng(GetParam());
+  const int n = rng.uniform_int(3, 12);
+  const Time delta = rng.uniform(0.005, 0.5);
+  const Matrix d = testing::random_demand(rng, n, rng.uniform(0.15, 0.95), 0.05, 8.0);
+  if (d.nnz() == 0) GTEST_SKIP();
+  const Time lb = single_coflow_lower_bound(d, delta);
+
+  struct Case {
+    const char* name;
+    CircuitSchedule schedule;
+  };
+  const Case cases[] = {
+      {"reco-sin", reco_sin(d, delta)},
+      {"solstice", solstice(d)},
+      {"bvn", bvn_baseline(d)},
+      {"tms", tms_schedule(d, delta)},
+  };
+  for (const Case& c : cases) {
+    ASSERT_TRUE(c.schedule.is_valid(n)) << c.name;                            // L1
+    const ExecutionResult r = execute_all_stop(c.schedule, d, delta);
+    ASSERT_TRUE(r.satisfied) << c.name;                                       // L1
+    EXPECT_GE(r.cct, lb - 1e-7) << c.name;                                    // L2
+  }
+  // L3: Theorem 2 for Reco-Sin specifically.
+  const ExecutionResult reco = execute_all_stop(cases[0].schedule, d, delta);
+  EXPECT_LE(reco.cct, 2.0 * lb + 1e-7);
+
+  // Sunflow (not-all-stop native) also respects the bound floor:
+  EXPECT_GE(sunflow(d, delta).cct, d.rho() - 1e-7);  // L2 (NAS can beat tau*delta)
+}
+
+TEST_P(SingleCoflowLaws, EventDrivenFabricAgreesWithExecutor) {
+  Rng rng(1000 + GetParam());
+  const int n = rng.uniform_int(3, 10);
+  const Time delta = rng.uniform(0.01, 0.3);
+  const Matrix d = testing::random_demand(rng, n, rng.uniform(0.2, 0.8), 0.1, 5.0);
+  if (d.nnz() == 0) GTEST_SKIP();
+  const CircuitSchedule s = reco_sin(d, delta);
+  sim::ReplayController controller(s);
+  const sim::SimulationReport des = sim::simulate_single_coflow(controller, d, delta);
+  const ExecutionResult analytic = execute_all_stop(s, d, delta);
+  EXPECT_NEAR(des.cct, analytic.cct, 1e-7);                                   // L5
+  EXPECT_EQ(des.reconfigurations, analytic.reconfigurations);
+}
+
+class MultiCoflowLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiCoflowLaws, ::testing::Values(7, 17, 27, 37, 47));
+
+TEST_P(MultiCoflowLaws, AllPipelinesFeasibleAndBottleneckRespecting) {
+  GeneratorOptions g;
+  g.num_ports = 20;
+  g.num_coflows = 25;
+  g.seed = GetParam();
+  const auto coflows = generate_workload(g);
+  const MultiScheduleResult results[] = {
+      reco_mul_pipeline(coflows, g.delta, g.c_threshold),
+      sebf_solstice(coflows, g.delta),
+      lp_ii_gb(coflows, g.delta),
+  };
+  for (const MultiScheduleResult& r : results) {
+    EXPECT_TRUE(is_port_feasible(r.schedule));                                // L4
+    for (const Coflow& c : coflows) {
+      EXPECT_GE(r.cct[c.id], c.demand.rho() - 1e-7);                          // L4
+    }
+    EXPECT_GT(r.reconfigurations, 0);
+  }
+}
+
+TEST_P(MultiCoflowLaws, DeterministicAcrossRuns) {
+  GeneratorOptions g;
+  g.num_ports = 16;
+  g.num_coflows = 15;
+  g.seed = GetParam();
+  const auto coflows_a = generate_workload(g);
+  const auto coflows_b = generate_workload(g);
+  const MultiScheduleResult a = reco_mul_pipeline(coflows_a, g.delta, g.c_threshold);
+  const MultiScheduleResult b = reco_mul_pipeline(coflows_b, g.delta, g.c_threshold);
+  ASSERT_EQ(a.schedule.size(), b.schedule.size());                            // L6
+  for (std::size_t f = 0; f < a.schedule.size(); ++f) {
+    EXPECT_EQ(a.schedule[f], b.schedule[f]);
+  }
+  EXPECT_DOUBLE_EQ(a.total_weighted_cct, b.total_weighted_cct);
+}
+
+TEST(PropertySmoke, GeneratedTraceNeverViolatesThresholdByDefault) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    GeneratorOptions g;
+    g.num_ports = 30;
+    g.num_coflows = 60;
+    g.seed = seed;
+    for (const Coflow& c : generate_workload(g)) {
+      EXPECT_GE(c.demand.min_nonzero(), g.c_threshold * g.delta - 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,102 @@
+// Parameterized sweeps over the experiment axes (density, delta, ordering
+// policy): the invariants that every bench configuration relies on.
+#include <gtest/gtest.h>
+
+#include "core/lower_bound.hpp"
+#include "core/slice.hpp"
+#include "ocs/all_stop_executor.hpp"
+#include "sched/multi_baselines.hpp"
+#include "sched/reco_sin.hpp"
+#include "sched/solstice.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+// --- density sweep: single-coflow laws at every fill level ---------------
+
+class DensitySweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Fills, DensitySweep, ::testing::Values(0.05, 0.15, 0.35, 0.6, 0.9),
+                         [](const auto& info) {
+                           return "fill" + std::to_string(static_cast<int>(info.param * 100));
+                         });
+
+TEST_P(DensitySweep, RecoSinWithinTheoremTwoAtEveryDensity) {
+  Rng rng(910 + static_cast<std::uint64_t>(GetParam() * 100));
+  const Time delta = 0.05;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Matrix d = testing::random_demand(rng, 10, GetParam(), 0.2, 6.0);
+    if (d.nnz() == 0) continue;
+    const ExecutionResult r = execute_all_stop(reco_sin(d, delta), d, delta);
+    ASSERT_TRUE(r.satisfied);
+    EXPECT_LE(r.cct, 2.0 * single_coflow_lower_bound(d, delta) + 1e-7);
+  }
+}
+
+TEST_P(DensitySweep, SolsticeServesAtEveryDensity) {
+  Rng rng(920 + static_cast<std::uint64_t>(GetParam() * 100));
+  const Matrix d = testing::random_demand(rng, 10, GetParam(), 0.2, 6.0);
+  if (d.nnz() == 0) GTEST_SKIP();
+  EXPECT_TRUE(execute_all_stop(solstice(d), d, 0.05).satisfied);
+}
+
+// --- delta sweep: executor laws across four decades of delta -------------
+
+class DeltaSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaSweep, ::testing::Values(1e-6, 1e-4, 1e-2, 1.0),
+                         [](const auto& info) {
+                           return "d" + std::to_string(static_cast<int>(-std::log10(info.param)));
+                         });
+
+TEST_P(DeltaSweep, RegularizationGranularityHolds) {
+  const Time delta = GetParam();
+  Rng rng(930);
+  const Matrix d = testing::random_demand(rng, 8, 0.5, 4 * delta, 400 * delta);
+  const CircuitSchedule s = reco_sin(d, delta);
+  for (const auto& a : s.assignments) {
+    EXPECT_GE(a.duration, delta - delta * 1e-6);
+  }
+  EXPECT_TRUE(execute_all_stop(s, d, delta).satisfied);
+}
+
+TEST_P(DeltaSweep, ReconfigurationAccountingExact) {
+  const Time delta = GetParam();
+  Rng rng(940);
+  const Matrix d = testing::random_demand(rng, 6, 0.6, 4 * delta, 100 * delta);
+  const ExecutionResult r = execute_all_stop(reco_sin(d, delta), d, delta);
+  EXPECT_NEAR(r.reconfiguration_time, r.reconfigurations * delta, delta * 1e-6);
+  EXPECT_NEAR(r.cct, r.transmission_time + r.reconfiguration_time, 1e-9 + delta * 1e-6);
+}
+
+// --- ordering sweep: every ALG_p choice keeps Reco-Mul lawful ------------
+
+class OrderingSweep : public ::testing::TestWithParam<OrderingPolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(Policies, OrderingSweep,
+                         ::testing::Values(OrderingPolicy::kSebf, OrderingPolicy::kBssi,
+                                           OrderingPolicy::kLp),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case OrderingPolicy::kSebf: return "Sebf";
+                             case OrderingPolicy::kBssi: return "Bssi";
+                             case OrderingPolicy::kLp: return "Lp";
+                           }
+                           return "Unknown";
+                         });
+
+TEST_P(OrderingSweep, RecoMulPipelineLawfulUnderEveryOrdering) {
+  Rng rng(950);
+  const auto coflows = testing::random_workload(rng, 10, 6, 0.02, 4.0);
+  const MultiScheduleResult r = reco_mul_pipeline(coflows, 0.02, 4.0, GetParam());
+  EXPECT_TRUE(is_port_feasible(r.schedule));
+  EXPECT_GT(r.reconfigurations, 0);
+  for (const Coflow& c : coflows) {
+    EXPECT_GE(r.cct[c.id], c.demand.rho() - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,59 @@
+#include "sched/bvn_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocs/all_stop_executor.hpp"
+#include "sched/reco_sin.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+TEST(BvnBaseline, EmptyDemand) {
+  EXPECT_EQ(bvn_baseline(Matrix(3)).num_assignments(), 0);
+}
+
+TEST(BvnBaseline, SatisfiesDemand) {
+  Rng rng(121);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix d = testing::random_demand(rng, 7, 0.5, 0.2, 5.0);
+    const CircuitSchedule s = bvn_baseline(d);
+    EXPECT_TRUE(s.is_valid(7)) << "trial " << trial;
+    EXPECT_TRUE(execute_all_stop(s, d, 0.05).satisfied) << "trial " << trial;
+  }
+}
+
+TEST(BvnBaseline, ZeroDeltaTransmissionIsOptimal) {
+  // With delta = 0 plain BvN is optimal (Qiu-Stein-Zhong): executed CCT
+  // equals rho exactly.
+  Rng rng(122);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix d = testing::random_demand(rng, 6, 0.6, 0.4, 6.0);
+    if (d.nnz() == 0) continue;
+    const ExecutionResult r = execute_all_stop(bvn_baseline(d), d, 0.0);
+    ASSERT_TRUE(r.satisfied);
+    EXPECT_NEAR(r.cct, d.rho(), 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(BvnBaseline, TheoremOneBlowupOnAdversarialMatrix) {
+  // Theorem 1's construction in spirit: tiny ragged demands make plain BvN
+  // pay a reconfiguration per permutation while Reco-Sin collapses them.
+  Rng rng(123);
+  const Time delta = 10.0;  // huge reconfiguration cost vs. tiny demands
+  Matrix d(8);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) d.at(i, j) = rng.uniform(0.1, 1.0);
+  }
+  const ExecutionResult plain = execute_all_stop(bvn_baseline(d), d, delta);
+  const ExecutionResult reco = execute_all_stop(reco_sin(d, delta), d, delta);
+  ASSERT_TRUE(plain.satisfied && reco.satisfied);
+  // Reco-Sin needs exactly N establishments here; plain BvN needs ~N^2.
+  EXPECT_EQ(reco.reconfigurations, 8);
+  EXPECT_GT(plain.reconfigurations, 3 * reco.reconfigurations);
+  EXPECT_GT(plain.cct, 2.0 * reco.cct);
+}
+
+}  // namespace
+}  // namespace reco

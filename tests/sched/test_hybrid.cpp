@@ -1,0 +1,164 @@
+#include "sched/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocs/all_stop_executor.hpp"
+#include "sched/multi_baselines.hpp"
+#include "trace/generator.hpp"
+#include "sched/reco_sin.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+TEST(Hybrid, SplitSeparatesAtThreshold) {
+  const Matrix d = Matrix::from_rows({{5.0, 0.1}, {0.0, 2.0}});
+  Matrix elephants;
+  Matrix mice;
+  split_at_threshold(d, 1.0, elephants, mice);
+  EXPECT_DOUBLE_EQ(elephants.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(elephants.at(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(elephants.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(mice.at(0, 1), 0.1);
+  EXPECT_EQ(mice.nnz(), 1);
+}
+
+TEST(Hybrid, SplitPreservesVolume) {
+  Rng rng(251);
+  const Matrix d = testing::random_demand(rng, 6, 0.6, 0.01, 2.0);
+  Matrix elephants;
+  Matrix mice;
+  split_at_threshold(d, 0.5, elephants, mice);
+  EXPECT_NEAR(elephants.total() + mice.total(), d.total(), 1e-9);
+}
+
+TEST(Hybrid, RejectsBadBandwidth) {
+  HybridOptions o;
+  o.packet_bandwidth_fraction = 0.0;
+  EXPECT_THROW(hybrid_single_coflow(Matrix(2), o), std::invalid_argument);
+}
+
+TEST(Hybrid, PureElephantsMatchRecoSin) {
+  Rng rng(252);
+  HybridOptions o;
+  const double min_d = o.c_threshold * o.delta;
+  const Matrix d = testing::random_demand(rng, 5, 0.7, min_d, min_d * 20);
+  const HybridResult r = hybrid_single_coflow(d, o);
+  EXPECT_DOUBLE_EQ(r.mice_volume, 0.0);
+  EXPECT_DOUBLE_EQ(r.packet_cct, 0.0);
+  const ExecutionResult reference = execute_all_stop(reco_sin(d, o.delta), d, o.delta);
+  EXPECT_NEAR(r.cct, reference.cct, 1e-9);
+}
+
+TEST(Hybrid, PureMiceSkipTheOcs) {
+  HybridOptions o;
+  Matrix d(3);
+  d.at(0, 1) = o.c_threshold * o.delta / 10.0;  // below threshold
+  const HybridResult r = hybrid_single_coflow(d, o);
+  EXPECT_EQ(r.reconfigurations, 0);
+  EXPECT_DOUBLE_EQ(r.ocs_cct, 0.0);
+  EXPECT_NEAR(r.packet_cct, d.at(0, 1) / o.packet_bandwidth_fraction, 1e-12);
+}
+
+TEST(Hybrid, MixedCoflowRunsBothFabrics) {
+  HybridOptions o;
+  const double threshold = o.c_threshold * o.delta;
+  Matrix d(4);
+  d.at(0, 0) = threshold * 50;  // elephant
+  d.at(1, 2) = threshold / 5;   // mouse
+  const HybridResult r = hybrid_single_coflow(d, o);
+  EXPECT_GT(r.ocs_cct, 0.0);
+  EXPECT_GT(r.packet_cct, 0.0);
+  EXPECT_DOUBLE_EQ(r.cct, std::max(r.ocs_cct, r.packet_cct));
+  EXPECT_NEAR(r.elephant_volume, threshold * 50, 1e-12);
+  EXPECT_NEAR(r.mice_volume, threshold / 5, 1e-12);
+}
+
+TEST(Hybrid, OffloadingMiceBeatsForcingThemThroughOcs) {
+  // The Sec. VI argument: a matrix with many tiny flows plus one elephant
+  // per port is cheap on a hybrid fabric but reconfiguration-bound on a
+  // pure OCS.
+  Rng rng(253);
+  HybridOptions o;
+  const double threshold = o.c_threshold * o.delta;
+  Matrix d(10);
+  for (int i = 0; i < 10; ++i) {
+    d.at(i, i) = threshold * 100;  // elephants on the diagonal
+    for (int j = 0; j < 10; ++j) {
+      if (j != i) d.at(i, j) = threshold / 20.0;  // mice everywhere else
+    }
+  }
+  const HybridResult hybrid = hybrid_single_coflow(d, o);
+  const ExecutionResult pure = execute_all_stop(reco_sin(d, o.delta), d, o.delta);
+  EXPECT_LT(hybrid.cct, pure.cct);
+  EXPECT_LT(hybrid.reconfigurations, pure.reconfigurations);
+}
+
+TEST(HybridMulti, EmptyWorkload) {
+  const HybridMultiResult r = hybrid_multi_coflow({});
+  EXPECT_TRUE(r.cct.empty());
+  EXPECT_EQ(r.reconfigurations, 0);
+}
+
+TEST(HybridMulti, RejectsBadBandwidth) {
+  HybridOptions o;
+  o.packet_bandwidth_fraction = -1.0;
+  EXPECT_THROW(hybrid_multi_coflow({}, o), std::invalid_argument);
+}
+
+TEST(HybridMulti, PureElephantWorkloadMatchesRecoMul) {
+  GeneratorOptions g;
+  g.num_ports = 16;
+  g.num_coflows = 12;
+  g.seed = 981;  // enforce_threshold default: everything is an elephant
+  const auto coflows = generate_workload(g);
+  HybridOptions o;
+  o.delta = g.delta;
+  o.c_threshold = g.c_threshold;
+  const HybridMultiResult hybrid = hybrid_multi_coflow(coflows, o);
+  const MultiScheduleResult reco = reco_mul_pipeline(coflows, g.delta, g.c_threshold);
+  EXPECT_DOUBLE_EQ(hybrid.mice_volume, 0.0);
+  for (const Coflow& c : coflows) {
+    EXPECT_NEAR(hybrid.cct[c.id], reco.cct[c.id], 1e-9) << "coflow " << c.id;
+  }
+}
+
+TEST(HybridMulti, MiceOnlyCoflowsSkipTheOcs) {
+  HybridOptions o;
+  const double threshold = o.c_threshold * o.delta;
+  Matrix mouse(4);
+  mouse.at(0, 1) = threshold / 10;
+  Coflow c;
+  c.id = 0;
+  c.weight = 1.0;
+  c.demand = mouse;
+  const HybridMultiResult r = hybrid_multi_coflow({c}, o);
+  EXPECT_EQ(r.reconfigurations, 0);
+  EXPECT_NEAR(r.cct[0], (threshold / 10) / o.packet_bandwidth_fraction, 1e-12);
+}
+
+TEST(HybridMulti, MixedWorkloadServesBothSides) {
+  GeneratorOptions g;
+  g.num_ports = 20;
+  g.num_coflows = 25;
+  g.seed = 982;
+  g.enforce_threshold = false;  // keep mice
+  const auto coflows = generate_workload(g);
+  HybridOptions o;
+  o.delta = g.delta;
+  o.c_threshold = g.c_threshold;
+  const HybridMultiResult r = hybrid_multi_coflow(coflows, o);
+  EXPECT_GT(r.mice_volume, 0.0);
+  EXPECT_GT(r.elephant_volume, 0.0);
+  EXPECT_GT(r.reconfigurations, 0);
+  for (const Coflow& c : coflows) {
+    EXPECT_GT(r.cct[c.id], 0.0) << "coflow " << c.id;
+  }
+  double manual = 0.0;
+  for (const Coflow& c : coflows) manual += c.weight * r.cct[c.id];
+  EXPECT_NEAR(r.total_weighted_cct, manual, 1e-9);
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,118 @@
+#include "sched/multi_baselines.hpp"
+
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/slice.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+constexpr Time kDelta = 0.02;
+constexpr double kC = 4.0;
+
+std::vector<Coflow> small_workload(std::uint64_t seed, int k = 8, int n = 5) {
+  Rng rng(seed);
+  return testing::random_workload(rng, k, n, kDelta, kC);
+}
+
+TEST(MultiBaselines, SequentialScheduleIsFeasibleAndComplete) {
+  const auto coflows = small_workload(171);
+  for (SingleCoflowAlgo algo :
+       {SingleCoflowAlgo::kRecoSin, SingleCoflowAlgo::kSolstice, SingleCoflowAlgo::kBvn}) {
+    const MultiScheduleResult r =
+        sequential_multi_schedule(coflows, sebf_order(coflows), kDelta, algo);
+    EXPECT_TRUE(is_port_feasible(r.schedule));
+    EXPECT_GT(r.reconfigurations, 0);
+    for (const Coflow& c : coflows) EXPECT_GT(r.cct[c.id], 0.0);
+  }
+}
+
+TEST(MultiBaselines, SequentialCctIsMonotoneInOrder) {
+  // With strictly sequential execution, a coflow's CCT equals the cumulative
+  // CCT of everything before it: order positions imply monotone CCTs.
+  const auto coflows = small_workload(172);
+  const std::vector<int> order = sebf_order(coflows);
+  const MultiScheduleResult r =
+      sequential_multi_schedule(coflows, order, kDelta, SingleCoflowAlgo::kRecoSin);
+  Time prev = 0.0;
+  for (int idx : order) {
+    EXPECT_GE(r.cct[coflows[idx].id], prev - 1e-9);
+    prev = r.cct[coflows[idx].id];
+  }
+}
+
+TEST(MultiBaselines, SebfSolsticeRuns) {
+  const auto coflows = small_workload(173);
+  const MultiScheduleResult r = sebf_solstice(coflows, kDelta);
+  EXPECT_TRUE(is_port_feasible(r.schedule));
+  EXPECT_GT(r.total_weighted_cct, 0.0);
+}
+
+TEST(MultiBaselines, LpIiGbRuns) {
+  const auto coflows = small_workload(174, 6, 4);
+  const MultiScheduleResult r = lp_ii_gb(coflows, kDelta);
+  EXPECT_TRUE(is_port_feasible(r.schedule));
+  EXPECT_GT(r.total_weighted_cct, 0.0);
+}
+
+TEST(MultiBaselines, RecoMulPipelineFeasibleAndServesDemands) {
+  const auto coflows = small_workload(175);
+  const MultiScheduleResult r = reco_mul_pipeline(coflows, kDelta, kC);
+  EXPECT_TRUE(is_port_feasible(r.schedule));
+  EXPECT_GT(r.reconfigurations, 0);
+  // Total transmitted time must equal total demand (the real-time schedule
+  // stretches wall time but transmitted volume per flow is checked on the
+  // pseudo axis, so here we check volume conservation via slice count > 0
+  // and per-coflow completion beyond its bottleneck).
+  for (const Coflow& c : coflows) {
+    EXPECT_GE(r.cct[c.id], c.demand.rho() - 1e-9);
+  }
+}
+
+TEST(MultiBaselines, RecoMulBeatsSequentialBaselinesOnAverage) {
+  // The paper's Sec. V-D headline, in miniature: Reco-Mul's aligned,
+  // parallel schedule beats one-coflow-at-a-time baselines.  Needs a fabric
+  // wide enough for cross-coflow concurrency to exist (on a handful of
+  // ports every coflow conflicts with every other and sequential execution
+  // is already near-optimal), so this uses the trace generator's mix.
+  int wins_vs_lp = 0;
+  int wins_vs_sebf = 0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    GeneratorOptions g;
+    g.num_ports = 24;
+    g.num_coflows = 30;
+    g.seed = 176 + t;
+    g.delta = kDelta;
+    g.c_threshold = kC;
+    const auto coflows = generate_workload(g);
+    const double reco = reco_mul_pipeline(coflows, kDelta, kC).total_weighted_cct;
+    if (lp_ii_gb(coflows, kDelta).total_weighted_cct > reco) ++wins_vs_lp;
+    if (sebf_solstice(coflows, kDelta).total_weighted_cct > reco) ++wins_vs_sebf;
+  }
+  EXPECT_GE(wins_vs_lp, 4);
+  EXPECT_GE(wins_vs_sebf, 4);
+}
+
+TEST(MultiBaselines, UnregularizedPipelineNeedsMoreReconfigurations) {
+  const auto coflows = small_workload(181, 10, 6);
+  const MultiScheduleResult reg = reco_mul_pipeline(coflows, kDelta, kC);
+  const MultiScheduleResult raw = unregularized_pipeline(coflows, kDelta);
+  EXPECT_TRUE(is_port_feasible(raw.schedule));
+  EXPECT_LE(reg.reconfigurations, raw.reconfigurations);
+}
+
+TEST(MultiBaselines, WeightsAffectTotalWeightedCct) {
+  auto coflows = small_workload(182, 6, 4);
+  const double base = reco_mul_pipeline(coflows, kDelta, kC).total_weighted_cct;
+  for (Coflow& c : coflows) c.weight *= 2.0;
+  const double doubled = reco_mul_pipeline(coflows, kDelta, kC).total_weighted_cct;
+  EXPECT_NEAR(doubled, 2.0 * base, 1e-6 * base);
+}
+
+}  // namespace
+}  // namespace reco

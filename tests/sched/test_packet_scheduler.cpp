@@ -1,0 +1,104 @@
+#include "sched/packet_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/ordering.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+Coflow make_coflow(int id, const Matrix& demand) {
+  Coflow c;
+  c.id = id;
+  c.demand = demand;
+  return c;
+}
+
+TEST(PacketScheduler, EmptyWorkload) {
+  EXPECT_TRUE(packet_schedule({}, {}).empty());
+}
+
+TEST(PacketScheduler, SingleFlowStartsAtZero) {
+  Matrix d(2);
+  d.at(0, 1) = 3.0;
+  const SliceSchedule s = packet_schedule({make_coflow(0, d)}, {0});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(s[0].end, 3.0);
+}
+
+TEST(PacketScheduler, FlowsOnSamePortSerialize) {
+  Matrix d(2);
+  d.at(0, 0) = 2.0;
+  d.at(0, 1) = 3.0;  // same ingress port 0
+  const SliceSchedule s = packet_schedule({make_coflow(0, d)}, {0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_TRUE(is_port_feasible(s));
+  // LPT: the 3-unit flow first, then the 2-unit.
+  EXPECT_DOUBLE_EQ(s[0].duration(), 3.0);
+  EXPECT_DOUBLE_EQ(s[1].start, 3.0);
+}
+
+TEST(PacketScheduler, DisjointFlowsRunInParallel) {
+  Matrix d(2);
+  d.at(0, 0) = 2.0;
+  d.at(1, 1) = 2.0;
+  const SliceSchedule s = packet_schedule({make_coflow(0, d)}, {0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(s[1].start, 0.0);
+}
+
+TEST(PacketScheduler, OrderDeterminesPriority) {
+  Matrix a(2);
+  a.at(0, 0) = 5.0;
+  Matrix b(2);
+  b.at(0, 0) = 1.0;
+  const std::vector<Coflow> coflows{make_coflow(0, a), make_coflow(1, b)};
+  const auto cct01 = completion_times(packet_schedule(coflows, {0, 1}), 2);
+  EXPECT_DOUBLE_EQ(cct01[0], 5.0);
+  EXPECT_DOUBLE_EQ(cct01[1], 6.0);
+  const auto cct10 = completion_times(packet_schedule(coflows, {1, 0}), 2);
+  EXPECT_DOUBLE_EQ(cct10[1], 1.0);
+  EXPECT_DOUBLE_EQ(cct10[0], 6.0);
+}
+
+TEST(PacketScheduler, NonPreemptiveOneSlicePerFlow) {
+  Rng rng(141);
+  const auto coflows = testing::random_workload(rng, 6, 4, 0.01, 3.0);
+  const SliceSchedule s = packet_schedule(coflows, sebf_order(coflows));
+  std::map<std::tuple<int, int, int>, int> slices_per_flow;
+  for (const FlowSlice& f : s) slices_per_flow[{f.coflow, f.src, f.dst}] += 1;
+  for (const auto& [key, count] : slices_per_flow) EXPECT_EQ(count, 1);
+}
+
+TEST(PacketSchedulerProperty, FeasibleAndExact) {
+  Rng rng(142);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto coflows = testing::random_workload(rng, 8, 5, 0.01, 3.0);
+    const SliceSchedule s = packet_schedule(coflows, bssi_order(coflows));
+    EXPECT_TRUE(is_port_feasible(s)) << "trial " << trial;
+    EXPECT_TRUE(satisfies_demands(s, coflows)) << "trial " << trial;
+  }
+}
+
+TEST(PacketSchedulerProperty, MakespanAtLeastMaxBottleneck) {
+  Rng rng(143);
+  const auto coflows = testing::random_workload(rng, 6, 4, 0.01, 3.0);
+  const SliceSchedule s = packet_schedule(coflows, sebf_order(coflows));
+  double max_rho = 0.0;
+  const int n = coflows.front().demand.n();
+  for (int p = 0; p < n; ++p) {
+    double in_load = 0.0;
+    for (const Coflow& c : coflows) in_load += c.demand.row_sum(p);
+    max_rho = std::max(max_rho, in_load);
+  }
+  EXPECT_GE(makespan(s) + 1e-9, max_rho);
+}
+
+}  // namespace
+}  // namespace reco

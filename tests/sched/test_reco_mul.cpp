@@ -1,0 +1,132 @@
+#include "sched/reco_mul.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ocs/slice_executor.hpp"
+#include "sched/ordering.hpp"
+#include "sched/packet_scheduler.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+TEST(RecoMul, RejectsBadParameters) {
+  EXPECT_THROW(reco_mul_transform({}, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(reco_mul_transform({}, 0.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(reco_mul_transform({}, -1.0, 4.0), std::invalid_argument);
+}
+
+TEST(RecoMul, EmptyScheduleStaysEmpty) {
+  const RecoMulSchedule r = reco_mul_transform({}, 1.0, 4.0);
+  EXPECT_TRUE(r.pseudo.empty());
+  EXPECT_TRUE(r.real.empty());
+}
+
+TEST(RecoMul, PaperFig3AlignmentExample) {
+  // Fig. 3's setup: three conflict-free flows starting at t = 0.5, 0.7, 0.9
+  // with sqrt(c)*delta = 1 (c = 4, delta = 0.5).  Unregularized they need
+  // three reconfigurations; Algorithm 2's literal formulas (stretch by 1.5,
+  // snap down to the grid) merge the last two starts: 0.75, 1.05, 1.35 ->
+  // batches 0, 1, 1.  (The figure narrates all three landing on one batch;
+  // the formulas as printed give two — still a strict reduction.)
+  const SliceSchedule packet{
+      {0.5, 2.5, 0, 0, 0}, {0.7, 2.7, 1, 1, 1}, {0.9, 2.9, 2, 2, 2}};
+  const RecoMulSchedule r = reco_mul_transform(packet, 0.5, 4.0);
+  EXPECT_EQ(count_reconfigurations(packet), 3);
+  EXPECT_EQ(count_reconfigurations(r.pseudo), 2);
+  EXPECT_TRUE(is_port_feasible(r.real));
+}
+
+TEST(RecoMul, StartTimesSnapToQuantumGrid) {
+  Rng rng(151);
+  const Time delta = 0.01;
+  const double c = 9.0;  // quantum = 0.03
+  const auto coflows = testing::random_workload(rng, 6, 4, delta, c);
+  const SliceSchedule packet = packet_schedule(coflows, bssi_order(coflows));
+  const RecoMulSchedule r = reco_mul_transform(packet, delta, c);
+  const Time quantum = std::sqrt(c) * delta;
+  for (const FlowSlice& s : r.pseudo) {
+    const double k = std::round(s.start / quantum);
+    EXPECT_NEAR(s.start, k * quantum, 1e-7);
+  }
+}
+
+TEST(RecoMul, DurationsPreservedOnPseudoAxis) {
+  Rng rng(152);
+  const auto coflows = testing::random_workload(rng, 5, 4, 0.01, 4.0);
+  const SliceSchedule packet = packet_schedule(coflows, bssi_order(coflows));
+  const RecoMulSchedule r = reco_mul_transform(packet, 0.01, 4.0);
+  ASSERT_EQ(r.pseudo.size(), packet.size());
+  for (std::size_t f = 0; f < packet.size(); ++f) {
+    EXPECT_NEAR(r.pseudo[f].duration(), packet[f].duration(), 1e-9);
+  }
+  EXPECT_TRUE(satisfies_demands(r.pseudo, coflows));
+}
+
+class RecoMulLemma2 : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(CSweep, RecoMulLemma2, ::testing::Values(1.0, 2.0, 4.0, 6.25, 9.0, 16.0));
+
+TEST_P(RecoMulLemma2, FeasibilityUnderThresholdAssumption) {
+  // Lemma 2: with every demand >= c * delta, the regularized schedule (and
+  // its real-time inflation) respects the port constraint.
+  const double c = GetParam();
+  Rng rng(153 + static_cast<std::uint64_t>(c * 10));
+  const Time delta = 0.02;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto coflows = testing::random_workload(rng, 8, 5, delta, c);
+    const SliceSchedule packet = packet_schedule(coflows, bssi_order(coflows));
+    ASSERT_TRUE(is_port_feasible(packet));
+    const RecoMulSchedule r = reco_mul_transform(packet, delta, c);
+    EXPECT_TRUE(is_port_feasible(r.pseudo)) << "c=" << c << " trial " << trial;
+    EXPECT_TRUE(is_port_feasible(r.real)) << "c=" << c << " trial " << trial;
+  }
+}
+
+TEST_P(RecoMulLemma2, Theorem3PerCoflowBound) {
+  // Eqn. (3): T_k^o <= (1 + 1/sqrt(c)) * ((floor(sqrt c)+1)/floor(sqrt c)) * T_k^p.
+  const double c = GetParam();
+  Rng rng(157 + static_cast<std::uint64_t>(c * 10));
+  const Time delta = 0.02;
+  const double root_floor = std::floor(std::sqrt(c));
+  const double bound = (1.0 + 1.0 / std::sqrt(c)) * ((root_floor + 1.0) / root_floor);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto coflows = testing::random_workload(rng, 8, 5, delta, c);
+    const SliceSchedule packet = packet_schedule(coflows, bssi_order(coflows));
+    const RecoMulSchedule r = reco_mul_transform(packet, delta, c);
+    const auto cct_packet = completion_times(packet, static_cast<int>(coflows.size()));
+    const auto cct_ocs = completion_times(r.real, static_cast<int>(coflows.size()));
+    for (std::size_t k = 0; k < coflows.size(); ++k) {
+      // "+ delta": the paper's accounting charges reconfigurations against
+      // elapsed pseudo-time and so misses the very first batch at t-hat = 0;
+      // physically that batch still costs one delta.
+      EXPECT_LE(cct_ocs[k], bound * cct_packet[k] + delta + 1e-7)
+          << "c=" << c << " trial " << trial << " coflow " << k;
+    }
+  }
+}
+
+TEST(RecoMul, FewerBatchesThanUnregularized) {
+  // The headline effect: aligning start times shares reconfigurations.
+  Rng rng(161);
+  const Time delta = 0.02;
+  const double c = 9.0;
+  int reduced = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto coflows = testing::random_workload(rng, 10, 5, delta, c);
+    const SliceSchedule packet = packet_schedule(coflows, bssi_order(coflows));
+    const RecoMulSchedule r = reco_mul_transform(packet, delta, c);
+    // The snap map t -> floor(1.5t/q)q is monotone, so distinct starts can
+    // only merge — never split.
+    EXPECT_LE(count_reconfigurations(r.pseudo), count_reconfigurations(packet))
+        << "trial " << trial;
+    if (count_reconfigurations(r.pseudo) < count_reconfigurations(packet)) ++reduced;
+  }
+  EXPECT_GE(reduced, 5);
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,64 @@
+// Controller-specific behaviours not covered by the fabric suites.
+#include <gtest/gtest.h>
+
+#include "sched/reco_sin.hpp"
+#include "sim/fabric.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco::sim {
+namespace {
+
+TEST(Controllers, GreedyMaxWeightDayCapLimitsHolds) {
+  Matrix d(2);
+  d.at(0, 0) = 5.0;
+  const Time delta = 0.1;
+  // Uncapped: one establishment drains the flow.
+  GreedyMaxWeightController uncapped(delta);
+  const SimulationReport a = simulate_single_coflow(uncapped, d, delta);
+  EXPECT_EQ(a.reconfigurations, 1);
+  // Day = 10*delta = 1.0: five establishments of 1.0 each.
+  GreedyMaxWeightController capped(delta, /*day_over_delta=*/10.0);
+  const SimulationReport b = simulate_single_coflow(capped, d, delta);
+  EXPECT_TRUE(b.satisfied);
+  EXPECT_EQ(b.reconfigurations, 5);
+  EXPECT_GT(b.cct, a.cct);  // extra setups cost time
+}
+
+TEST(Controllers, ReplayControllerSkipsDrainedEstablishments) {
+  Matrix d(2);
+  d.at(0, 0) = 1.0;
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 0}}, 1.0});
+  s.assignments.push_back({{{0, 0}}, 1.0});  // drained by the time it's offered
+  ReplayController controller(s);
+  const SimulationReport r = simulate_single_coflow(controller, d, 0.1);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.reconfigurations, 1);
+}
+
+TEST(Controllers, AdaptiveRecoEmitsDeltaGranularHolds) {
+  Rng rng(971);
+  const Time delta = 0.05;
+  const Matrix d = testing::random_demand(rng, 5, 0.6, 4 * delta, 40 * delta);
+  AdaptiveRecoController controller(delta);
+  const SimulationReport r = simulate_single_coflow(controller, d, delta);
+  EXPECT_TRUE(r.satisfied);
+  // Lemma-1 style: adaptive Reco re-regularizes each round, so the total
+  // reconfiguration time never exceeds the transmission time.
+  EXPECT_LE(r.reconfiguration_time, r.transmission_time + 1e-9);
+}
+
+TEST(Controllers, CompletionTimelineIsSorted) {
+  Rng rng(972);
+  const Matrix d = testing::random_demand(rng, 6, 0.7, 0.5, 5.0);
+  ReplayController controller(reco_sin(d, 0.1));
+  const SimulationReport r = simulate_single_coflow(controller, d, 0.1);
+  ASSERT_EQ(static_cast<int>(r.completions.size()), d.nnz());
+  for (std::size_t f = 1; f < r.completions.size(); ++f) {
+    EXPECT_GE(r.completions[f].completed_at, r.completions[f - 1].completed_at - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace reco::sim

@@ -1,0 +1,67 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace reco::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.events_processed(), 3u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 4) q.schedule(q.now() + 1.0, hop);
+  };
+  q.schedule(0.0, hop);
+  q.run_all();
+  EXPECT_EQ(hops, 4);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, RejectsPastEvents) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_one();
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, RunOneOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_one());
+}
+
+TEST(EventQueue, SameTimeAsNowIsAllowed) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(2.0, [&] {
+    q.schedule(q.now(), [&] { ++fired; });
+  });
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace reco::sim

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "sched/reco_sin.hpp"
+#include "sim/fabric.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco::sim {
+namespace {
+
+Matrix demand_under_test(std::uint64_t seed) {
+  Rng rng(seed);
+  return testing::random_demand(rng, 6, 0.6, 0.5, 4.0);
+}
+
+TEST(Faults, DefaultModelMatchesIdealSwitch) {
+  const Matrix d = demand_under_test(501);
+  const Time delta = 0.1;
+  const CircuitSchedule s = reco_sin(d, delta);
+  ReplayController a(s);
+  ReplayController b(s);
+  const SimulationReport ideal = simulate_single_coflow(a, d, delta);
+  const SimulationReport with_model = simulate_single_coflow(b, d, delta, FaultModel{});
+  EXPECT_DOUBLE_EQ(ideal.cct, with_model.cct);
+  EXPECT_EQ(ideal.reconfigurations, with_model.reconfigurations);
+}
+
+TEST(Faults, JitterOnlySlowsDown) {
+  const Matrix d = demand_under_test(502);
+  const Time delta = 0.1;
+  const CircuitSchedule s = reco_sin(d, delta);
+  ReplayController a(s);
+  const SimulationReport ideal = simulate_single_coflow(a, d, delta);
+  FaultModel faults;
+  faults.jitter_fraction = 0.5;
+  ReplayController b(s);
+  const SimulationReport jittered = simulate_single_coflow(b, d, delta, faults);
+  EXPECT_TRUE(jittered.satisfied);
+  EXPECT_GE(jittered.cct, ideal.cct - 1e-9);
+  // Worst case: every setup 1.5x slower.
+  EXPECT_LE(jittered.reconfiguration_time,
+            1.5 * delta * jittered.reconfigurations + 1e-9);
+  EXPECT_GE(jittered.reconfiguration_time, delta * jittered.reconfigurations - 1e-9);
+}
+
+TEST(Faults, RetriesInflateReconfigurationTime) {
+  const Matrix d = demand_under_test(503);
+  const Time delta = 0.1;
+  const CircuitSchedule s = reco_sin(d, delta);
+  FaultModel faults;
+  faults.retry_probability = 0.4;
+  ReplayController a(s);
+  const SimulationReport faulty = simulate_single_coflow(a, d, delta, faults);
+  EXPECT_TRUE(faulty.satisfied);
+  // Expected attempts per setup = 1/(1-p) ~ 1.67: with 40% retries some
+  // setup almost surely repeated.
+  EXPECT_GT(faulty.reconfiguration_time, delta * faulty.reconfigurations + 1e-12);
+}
+
+TEST(Faults, DeterministicPerSeed) {
+  const Matrix d = demand_under_test(504);
+  const Time delta = 0.1;
+  const CircuitSchedule s = reco_sin(d, delta);
+  FaultModel faults;
+  faults.jitter_fraction = 0.3;
+  faults.retry_probability = 0.2;
+  ReplayController a(s);
+  ReplayController b(s);
+  const SimulationReport r1 = simulate_single_coflow(a, d, delta, faults);
+  const SimulationReport r2 = simulate_single_coflow(b, d, delta, faults);
+  EXPECT_DOUBLE_EQ(r1.cct, r2.cct);
+  faults.seed = 99;
+  ReplayController c(s);
+  const SimulationReport r3 = simulate_single_coflow(c, d, delta, faults);
+  EXPECT_NE(r1.cct, r3.cct);  // different fault stream, different timeline
+}
+
+TEST(Faults, DemandStillFullyServedUnderHeavyFaults) {
+  const Matrix d = demand_under_test(505);
+  const Time delta = 0.05;
+  FaultModel faults;
+  faults.jitter_fraction = 1.0;
+  faults.retry_probability = 0.5;
+  ReplayController a(reco_sin(d, delta));
+  const SimulationReport r = simulate_single_coflow(a, d, delta, faults);
+  EXPECT_TRUE(r.satisfied);  // faults cost time, never correctness
+}
+
+}  // namespace
+}  // namespace reco::sim

@@ -1,0 +1,65 @@
+#include "stats/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocs/all_stop_executor.hpp"
+#include "sched/reco_sin.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+TEST(Analysis, BreakdownMatchesExecutor) {
+  Rng rng(401);
+  const Matrix d = testing::random_demand(rng, 6, 0.6, 0.3, 4.0);
+  const Time delta = 0.1;
+  const CircuitSchedule s = reco_sin(d, delta);
+  const TimeBreakdown b = analyze_time_breakdown(s, d, delta);
+  const ExecutionResult r = execute_all_stop(s, d, delta);
+  EXPECT_NEAR(b.cct, r.cct, 1e-9);
+  EXPECT_NEAR(b.transmission, r.transmission_time, 1e-9);
+  EXPECT_NEAR(b.reconfiguration, r.reconfiguration_time, 1e-9);
+  EXPECT_EQ(b.establishments, r.reconfigurations);
+}
+
+TEST(Analysis, StrandedTimeZeroForPerfectlyBalancedDemand) {
+  // All entries equal: every circuit drains exactly when the hold ends.
+  Matrix d(3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) d.at(i, j) = 2.0;
+  }
+  const TimeBreakdown b = analyze_time_breakdown(reco_sin(d, 1.0), d, 1.0);
+  EXPECT_NEAR(b.stranded_port_time, 0.0, 1e-9);
+}
+
+TEST(Analysis, StrandedTimePositiveForSkewedDemand) {
+  const Matrix d = Matrix::from_rows({{10, 0}, {0, 1}});
+  CircuitSchedule s;
+  s.assignments.push_back({{{0, 0}, {1, 1}}, 10.0});
+  const TimeBreakdown b = analyze_time_breakdown(s, d, 1.0);
+  // The (1,1) circuit idles 9 units on each of its two ports.
+  EXPECT_NEAR(b.stranded_port_time, 18.0, 1e-9);
+}
+
+TEST(Analysis, GanttEmptySchedule) {
+  EXPECT_EQ(render_gantt({}, 2), "(empty schedule)\n");
+}
+
+TEST(Analysis, GanttMarksBusyCells) {
+  const SliceSchedule sched{{0.0, 1.0, 0, 1, 3}};
+  const std::string g = render_gantt(sched, 2, 10);
+  // Row for ingress port 0 should be all '3's; egress port 1 likewise.
+  EXPECT_NE(g.find("in  0 |3333333333|"), std::string::npos);
+  EXPECT_NE(g.find("out 1 |3333333333|"), std::string::npos);
+  EXPECT_NE(g.find("in  1 |..........|"), std::string::npos);
+}
+
+TEST(Analysis, GanttFlagsViolations) {
+  const SliceSchedule sched{{0.0, 1.0, 0, 0, 1}, {0.5, 1.0, 0, 1, 2}};
+  const std::string g = render_gantt(sched, 2, 8);
+  EXPECT_NE(g.find('!'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reco

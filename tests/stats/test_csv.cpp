@@ -1,0 +1,60 @@
+#include "stats/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace reco {
+namespace {
+
+TEST(Csv, EscapePassthroughForPlainFields) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("3.44x"), "3.44x");
+}
+
+TEST(Csv, EscapeQuotesCommasAndNewlines) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriteRowJoinsWithCommas) {
+  std::ostringstream out;
+  write_csv_row(out, {"a", "b,c", "d"});
+  EXPECT_EQ(out.str(), "a,\"b,c\",d\n");
+}
+
+TEST(Csv, WriteTableWithHeader) {
+  std::ostringstream out;
+  write_csv(out, {"x", "y"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_EQ(out.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Csv, WriteTableWithoutHeader) {
+  std::ostringstream out;
+  write_csv(out, {}, {{"1"}});
+  EXPECT_EQ(out.str(), "1\n");
+}
+
+TEST(Csv, SlicesRoundTripShape) {
+  std::ostringstream out;
+  write_slices_csv(out, {{0.5, 1.5, 2, 3, 7}});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("start,end,src,dst,coflow"), std::string::npos);
+  EXPECT_NE(text.find("0.5,1.5,2,3,7"), std::string::npos);
+}
+
+TEST(Csv, SaveCsvWritesFile) {
+  const std::string path = ::testing::TempDir() + "/reco_csv_test.csv";
+  save_csv(path, {"h"}, {{"v"}});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h");
+  EXPECT_THROW(save_csv("/nonexistent/dir/x.csv", {}, {}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace reco

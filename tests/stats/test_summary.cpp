@@ -1,0 +1,57 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reco {
+namespace {
+
+TEST(Summary, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 95), 48.0);  // between 40 and 50
+}
+
+TEST(Summary, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({30, 10, 20}, 50), 20.0);
+}
+
+TEST(Summary, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 95), 7.0);
+  EXPECT_THROW(percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Summary, EmpiricalCdf) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_NEAR(cdf[0].second, 1.0 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].first, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].second, 1.0);
+}
+
+TEST(Summary, NormalizedRatio) {
+  EXPECT_DOUBLE_EQ(normalized_ratio({4.0, 6.0}, {1.0, 1.0}), 5.0);
+  EXPECT_DOUBLE_EQ(normalized_ratio({1.0}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_ratio({1.0}, {0.0}), 0.0);
+}
+
+TEST(Summary, ElementwiseRatioSkipsZeroDenominators) {
+  const auto r = elementwise_ratio({4.0, 6.0, 8.0}, {2.0, 0.0, 4.0});
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.0);
+}
+
+}  // namespace
+}  // namespace reco

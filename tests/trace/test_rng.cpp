@@ -1,0 +1,112 @@
+#include "trace/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace reco {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(5);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+  EXPECT_THROW(rng.uniform_int(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(10);
+  for (int i = 0; i < 200; ++i) {
+    const int v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(12);
+  for (int i = 0; i < 500; ++i) EXPECT_GT(rng.lognormal(0.0, 2.0), 0.0);
+}
+
+TEST(Rng, ParetoAtLeastScale) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, SampleDistinctIsDistinctAndInRange) {
+  Rng rng(14);
+  std::vector<int> out(10);
+  rng.sample_distinct(20, 10, out.data());
+  std::set<int> seen(out.begin(), out.end());
+  EXPECT_EQ(seen.size(), 10u);
+  for (int v : out) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+  EXPECT_THROW(rng.sample_distinct(3, 5, out.data()), std::invalid_argument);
+}
+
+TEST(Rng, SampleDistinctFullPermutation) {
+  Rng rng(15);
+  std::vector<int> out(6);
+  rng.sample_distinct(6, 6, out.data());
+  std::set<int> seen(out.begin(), out.end());
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,50 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reco {
+namespace {
+
+Coflow make_coflow(int id, const Matrix& demand) {
+  Coflow c;
+  c.id = id;
+  c.demand = demand;
+  return c;
+}
+
+TEST(TraceStats, EmptyWorkload) {
+  const WorkloadStats s = compute_stats({});
+  EXPECT_EQ(s.num_coflows, 0);
+  EXPECT_DOUBLE_EQ(s.density_percent[0], 0.0);
+}
+
+TEST(TraceStats, CountsAndPercentages) {
+  // One sparse S2S, one dense M2M.
+  Matrix s2s(10);
+  s2s.at(0, 0) = 2.0;
+  Matrix m2m(2);
+  m2m.at(0, 0) = m2m.at(0, 1) = m2m.at(1, 0) = 6.0;  // DS = 0.75
+  const std::vector<Coflow> coflows{make_coflow(0, s2s), make_coflow(1, m2m)};
+  const WorkloadStats st = compute_stats(coflows);
+  EXPECT_EQ(st.num_coflows, 2);
+  EXPECT_DOUBLE_EQ(st.density_percent[0], 50.0);  // sparse
+  EXPECT_DOUBLE_EQ(st.density_percent[2], 50.0);  // dense
+  EXPECT_DOUBLE_EQ(st.mode_count_percent[0], 50.0);  // S2S
+  EXPECT_DOUBLE_EQ(st.mode_count_percent[3], 50.0);  // M2M
+  // Bytes: 2 vs 18.
+  EXPECT_DOUBLE_EQ(st.mode_size_percent[0], 10.0);
+  EXPECT_DOUBLE_EQ(st.mode_size_percent[3], 90.0);
+  EXPECT_DOUBLE_EQ(st.min_nonzero_demand, 2.0);
+}
+
+TEST(TraceStats, FormatMentionsPaperNumbers) {
+  const WorkloadStats st = compute_stats({make_coflow(0, Matrix::from_rows({{1.0}}))});
+  const std::string text = format_stats(st);
+  EXPECT_NE(text.find("86.31"), std::string::npos);
+  EXPECT_NE(text.find("99.943"), std::string::npos);
+  EXPECT_NE(text.find("Table I"), std::string::npos);
+  EXPECT_NE(text.find("Table II"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reco
