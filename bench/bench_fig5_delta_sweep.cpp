@@ -36,22 +36,32 @@ int main(int argc, char** argv) {
 
   for (DensityClass cls : bench::kAllClasses) {
     const std::vector<int> picked = bench::sample_class(coflows, cls, samples);
-    // Solstice schedules are delta-independent: compute once per coflow.
-    std::vector<CircuitSchedule> solstice_schedules;
-    solstice_schedules.reserve(picked.size());
-    for (int k : picked) solstice_schedules.push_back(solstice(coflows[k].demand));
+    // Solstice schedules are delta-independent: compute once per coflow
+    // (fanned out across the runtime pool, results in trace order).
+    const std::vector<CircuitSchedule> solstice_schedules =
+        bench::sweep(picked, [&](int k) { return solstice(coflows[k].demand); });
 
     for (const Time delta : deltas) {
-      std::vector<double> reco_reconf, sol_reconf, reco_norm, sol_norm;
-      for (std::size_t p = 0; p < picked.size(); ++p) {
+      struct PointResult {
+        double reco_reconf = 0, sol_reconf = 0, reco_norm = 0, sol_norm = 0;
+      };
+      std::vector<std::size_t> indices(picked.size());
+      for (std::size_t p = 0; p < picked.size(); ++p) indices[p] = p;
+      const std::vector<PointResult> per_coflow = bench::sweep(indices, [&](std::size_t p) {
         const Matrix& d = coflows[picked[p]].demand;
         const Time lb = single_coflow_lower_bound(d, delta);
         const ExecutionResult reco = execute_all_stop(reco_sin(d, delta), d, delta);
         const ExecutionResult sol = execute_all_stop(solstice_schedules[p], d, delta);
-        reco_reconf.push_back(reco.reconfigurations);
-        sol_reconf.push_back(sol.reconfigurations);
-        reco_norm.push_back(reco.cct / lb);
-        sol_norm.push_back(sol.cct / lb);
+        return PointResult{static_cast<double>(reco.reconfigurations),
+                           static_cast<double>(sol.reconfigurations), reco.cct / lb,
+                           sol.cct / lb};
+      });
+      std::vector<double> reco_reconf, sol_reconf, reco_norm, sol_norm;
+      for (const PointResult& r : per_coflow) {
+        reco_reconf.push_back(r.reco_reconf);
+        sol_reconf.push_back(r.sol_reconf);
+        reco_norm.push_back(r.reco_norm);
+        sol_norm.push_back(r.sol_norm);
       }
       ta.add_row({bench::class_name(cls), fmt_time(delta), fmt_double(mean(reco_reconf), 1),
                   fmt_double(mean(sol_reconf), 1),

@@ -33,28 +33,54 @@ int main(int argc, char** argv) {
   t.set_header({"N", "flows", "Reco plan ms", "Reco assigns", "Solstice plan ms",
                 "Solstice assigns", "CCT ratio"});
 
-  for (const int n : {32, 64, 128, opts.full ? 256 : 192}) {
+  // Demand matrices are drawn sequentially (one RNG stream, independent of
+  // thread count); the per-width planning points then fan out across the
+  // runtime pool.  Per-point ms are wall-clock: with --threads>1 the points
+  // overlap, so read the per-planner columns from a --threads=1 run and use
+  // the parallel run for end-to-end suite latency.
+  const std::vector<int> widths = {32, 64, 128, opts.full ? 256 : 192};
+  std::vector<Matrix> demands;
+  for (const int n : widths) {
     Matrix d(n);
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < n; ++j) {
         if (rng.uniform() < 0.6) d.at(i, j) = rng.uniform(4 * delta, 400 * delta);
       }
     }
+    demands.push_back(std::move(d));
+  }
+
+  struct Row {
+    double reco_ms = 0, sol_ms = 0, cct_ratio = 0;
+    int nnz = 0, reco_assigns = 0, sol_assigns = 0;
+  };
+  std::vector<std::size_t> points(widths.size());
+  for (std::size_t p = 0; p < points.size(); ++p) points[p] = p;
+  const std::vector<Row> rows = bench::sweep(points, [&](std::size_t p) {
+    const Matrix& d = demands[p];
+    Row row;
+    row.nnz = d.nnz();
+
     const auto t0 = Clock::now();
     const CircuitSchedule reco = reco_sin(d, delta);
-    const double reco_ms = ms_since(t0);
+    row.reco_ms = ms_since(t0);
+    row.reco_assigns = reco.num_assignments();
 
     const auto t1 = Clock::now();
     const CircuitSchedule sol = solstice(d);
-    const double sol_ms = ms_since(t1);
+    row.sol_ms = ms_since(t1);
+    row.sol_assigns = sol.num_assignments();
 
     const ExecutionResult reco_run = execute_all_stop(reco, d, delta);
     const ExecutionResult sol_run = execute_all_stop(sol, d, delta);
-
-    t.add_row({std::to_string(n), std::to_string(d.nnz()), fmt_double(reco_ms, 1),
-               std::to_string(reco.num_assignments()), fmt_double(sol_ms, 1),
-               std::to_string(sol.num_assignments()),
-               fmt_ratio(sol_run.cct / reco_run.cct)});
+    row.cct_ratio = sol_run.cct / reco_run.cct;
+    return row;
+  });
+  for (std::size_t p = 0; p < widths.size(); ++p) {
+    t.add_row({std::to_string(widths[p]), std::to_string(rows[p].nnz),
+               fmt_double(rows[p].reco_ms, 1), std::to_string(rows[p].reco_assigns),
+               fmt_double(rows[p].sol_ms, 1), std::to_string(rows[p].sol_assigns),
+               fmt_ratio(rows[p].cct_ratio)});
   }
 
   std::printf("Random dense coflows (60%% fill), delta = %s; --full extends to N=256.\n\n",

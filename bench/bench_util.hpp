@@ -2,10 +2,12 @@
 // canonical workloads, and per-density-class sampling.
 //
 // Every experiment binary accepts:
-//   --coflows=N  --ports=N  --seed=S  --samples=N  --full
+//   --coflows=N  --ports=N  --seed=S  --samples=N  --threads=N  --full
 // where --full switches to the paper's native scale (526 coflows on a
 // 150-port fabric).  Defaults are tuned so the whole bench suite completes
 // in minutes on one laptop core; EXPERIMENTS.md records both scales.
+// --threads (or the RECO_THREADS env var) sets the parallel runtime's
+// fan-out; results are bit-identical at every thread count.
 #pragma once
 
 #include <cstdio>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "core/coflow.hpp"
+#include "runtime/parallel.hpp"
 #include "trace/generator.hpp"
 
 namespace reco::bench {
@@ -49,10 +52,13 @@ inline BenchOptions parse_args(int argc, char** argv) {
       o.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = val("--csv=")) {
       o.csv_dir = v;
+    } else if (const char* v = val("--threads=")) {
+      runtime::set_thread_count(std::atoi(v));
     } else if (arg == "--full") {
       o.full = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("options: --coflows=N --ports=N --samples=N --seed=S --full --csv=DIR\n");
+      std::printf(
+          "options: --coflows=N --ports=N --samples=N --seed=S --threads=N --full --csv=DIR\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -86,6 +92,16 @@ inline GeneratorOptions multi_coflow_workload(const BenchOptions& o) {
   g.delta = o.delta;
   g.c_threshold = o.c_threshold;
   return g;
+}
+
+/// Evaluate one experiment point per element of `points`, fanning out
+/// across the runtime thread pool, and return the results in input order
+/// (so report tables and CSVs are identical at every thread count).  Each
+/// point is typically a whole pipeline run — the coarse-grained, perfectly
+/// independent parallelism of the fig5/fig9/scalability sweeps.
+template <typename T, typename Fn>
+auto sweep(const std::vector<T>& points, Fn&& fn) {
+  return runtime::parallel_map(points, std::forward<Fn>(fn));
 }
 
 /// Up to `max_per_class` coflow indices of each density class, preserving

@@ -7,6 +7,10 @@
 //                       [--delta=SEC] [--c=C] [--csv=FILE]
 //   reco_sim_cli online <trace> [--policy=epoch|replan|fifo] [--delta=SEC] [--c=C]
 //
+// Every mode accepts --threads=N to size the parallel scheduling runtime
+// (default: RECO_THREADS env var, else all hardware threads; 1 forces the
+// sequential path).  Output is bit-identical at every thread count.
+//
 // Traces come from `trace_tool gen` (reco-trace format) or, with --fb, any
 // file in the public Coflow-Benchmark format (the paper's FB2010 trace).
 // --jitter=F / --retries=P inject reconfiguration faults (single mode).
@@ -20,6 +24,7 @@
 
 #include "core/lower_bound.hpp"
 #include "ocs/all_stop_executor.hpp"
+#include "runtime/thread_pool.hpp"
 #include "ocs/not_all_stop_executor.hpp"
 #include "sched/bvn_baseline.hpp"
 #include "sched/multi_baselines.hpp"
@@ -78,7 +83,8 @@ int usage() {
                "  reco_sim_cli single <trace> [--coflow=K] [--algo=A] [--delta=S]\n"
                "               [--model=all-stop|not-all-stop] [--gantt]\n"
                "  reco_sim_cli multi  <trace> [--algo=A] [--delta=S] [--c=C] [--csv=F]\n"
-               "  reco_sim_cli online <trace> [--policy=epoch|fifo] [--delta=S] [--c=C]\n");
+               "  reco_sim_cli online <trace> [--policy=epoch|fifo] [--delta=S] [--c=C]\n"
+               "  (all modes: --threads=N sizes the parallel runtime; 1 = sequential)\n");
   return 2;
 }
 
@@ -206,6 +212,9 @@ int run_online(const Args& args, const std::vector<Coflow>& coflows) {
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   if (args.command.empty() || args.trace_path.empty()) return usage();
+  if (args.has("threads")) {
+    reco::runtime::set_thread_count(static_cast<int>(args.get_double("threads", 0)));
+  }
   try {
     int ports = 0;
     const std::vector<Coflow> coflows =

@@ -115,8 +115,13 @@ CircuitSchedule bvn_decompose(Matrix m, BvnPolicy policy) {
       return peel(std::move(m), kSupportThreshold, /*halve_on_failure=*/false);
     case BvnPolicy::kMaxMinAmortized: {
       // Start at the smallest power of two >= the max entry; halve until a
-      // perfect matching exists, extract, repeat.
-      const double start = std::exp2(std::ceil(std::log2(m.max_entry())));
+      // perfect matching exists, extract, repeat.  When every surviving
+      // entry sits at tolerance scale the raw exp2 start can fall below the
+      // support threshold (or derive from a -inf log2 on an all-crumb
+      // matrix), letting the matcher treat sub-tolerance crumbs as edges;
+      // clamp so the peel never scans below what nnz() counts as support.
+      const double start =
+          std::max(std::exp2(std::ceil(std::log2(m.max_entry()))), kSupportThreshold);
       return peel(std::move(m), start, /*halve_on_failure=*/true);
     }
     case BvnPolicy::kExactBottleneck:

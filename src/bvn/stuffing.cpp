@@ -29,6 +29,37 @@ Matrix stuff(const Matrix& demand, Time target) {
       col_slack[j] = clamp_zero(col_slack[j] - add);
     }
   }
+
+  // Repair pass.  The approx_zero/clamp_zero skips above each drop at most
+  // a tolerance-sized crumb, but n of them can stack up in one row while
+  // the matching column slacks were clamped away individually — the greedy
+  // loop then exits with multi-eps residual row slack and silently returns
+  // a matrix that is NOT doubly stochastic at kTimeEps.  Settle the exact
+  // deficits (recomputed without clamping), preferring cells that already
+  // carry demand so sparsity-sensitive consumers see no new support.
+  std::vector<Time> col_need(n);
+  bool any_col_need = false;
+  for (int j = 0; j < n; ++j) {
+    col_need[j] = goal - out.col_sum(j);
+    any_col_need = any_col_need || col_need[j] > 0.0;
+  }
+  for (int i = 0; i < n; ++i) {
+    Time need = goal - out.row_sum(i);
+    if (need <= 0.0) continue;
+    for (int pass = 0; pass < 2 && need > 0.0 && any_col_need; ++pass) {
+      for (int j = 0; j < n && need > 0.0; ++j) {
+        if (pass == 0 && approx_zero(out.at(i, j))) continue;  // nonzero cells first
+        const Time give = std::min(need, col_need[j]);
+        if (give <= 0.0) continue;
+        out.at(i, j) += give;
+        col_need[j] -= give;
+        need -= give;
+      }
+    }
+    // Totals match by construction, so any remainder is pure round-off
+    // (far below kTimeEps); park it on the diagonal.
+    if (need > 0.0) out.at(i, i) += need;
+  }
   return out;
 }
 

@@ -1,0 +1,114 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+namespace reco::runtime {
+
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+/// Parallelism picked from the environment: RECO_THREADS if set to a
+/// positive integer, otherwise the hardware.
+int env_thread_count() {
+  if (const char* env = std::getenv("RECO_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+struct GlobalPoolState {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+  int pool_threads = 0;  // thread_count() the pool was built for
+  int override_threads = 0;  // 0 = no override
+};
+
+GlobalPoolState& global_state() {
+  static GlobalPoolState state;
+  return state;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  workers_.reserve(num_workers > 0 ? num_workers : 0);
+  for (int t = 0; t < num_workers; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  if (workers_.empty()) {
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() { return tls_on_worker; }
+
+void ThreadPool::worker_loop() {
+  tls_on_worker = true;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+int thread_count() {
+  GlobalPoolState& s = global_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.override_threads >= 1 ? s.override_threads : env_thread_count();
+}
+
+void set_thread_count(int n) {
+  GlobalPoolState& s = global_state();
+  std::unique_ptr<ThreadPool> retired;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.override_threads = n >= 1 ? n : 0;
+    // Drop the stale pool; global_pool() rebuilds at the new size.  The
+    // retired pool joins its workers outside the lock.
+    retired = std::move(s.pool);
+    s.pool_threads = 0;
+  }
+}
+
+ThreadPool& global_pool() {
+  GlobalPoolState& s = global_state();
+  const int want = thread_count();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.pool || s.pool_threads != want) {
+    s.pool.reset();  // join old workers before spawning replacements
+    s.pool = std::make_unique<ThreadPool>(want - 1);
+    s.pool_threads = want;
+  }
+  return *s.pool;
+}
+
+}  // namespace reco::runtime

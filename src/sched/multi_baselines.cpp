@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "ocs/all_stop_executor.hpp"
+#include "runtime/parallel.hpp"
 #include "ocs/slice_executor.hpp"
 #include "sched/bvn_baseline.hpp"
 #include "sched/packet_scheduler.hpp"
@@ -36,13 +37,18 @@ MultiScheduleResult finalize(SliceSchedule schedule, const std::vector<Coflow>& 
 MultiScheduleResult sequential_multi_schedule(const std::vector<Coflow>& coflows,
                                               const std::vector<int>& order, Time delta,
                                               SingleCoflowAlgo algo) {
+  // The per-coflow planners see only the coflow's own demand, never the
+  // clock, so the expensive decompositions fan out across the runtime's
+  // thread pool; only the (cheap) back-to-back execution below is ordered.
+  const std::vector<CircuitSchedule> plans = runtime::parallel_map(
+      order, [&](int idx) { return schedule_one(coflows[idx].demand, delta, algo); });
+
   SliceSchedule slices;
   int reconfigs = 0;
   Time clock = 0.0;
-  for (int idx : order) {
-    const Coflow& c = coflows[idx];
-    const CircuitSchedule cs = schedule_one(c.demand, delta, algo);
-    const ExecutionResult exec = execute_all_stop(cs, c.demand, delta, clock, c.id, &slices);
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    const Coflow& c = coflows[order[p]];
+    const ExecutionResult exec = execute_all_stop(plans[p], c.demand, delta, clock, c.id, &slices);
     if (!exec.satisfied) {
       throw std::logic_error("sequential_multi_schedule: demand not satisfied");
     }

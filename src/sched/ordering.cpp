@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "runtime/parallel.hpp"
+
 namespace reco {
 
 namespace {
@@ -31,7 +33,7 @@ std::vector<int> bssi_order(const std::vector<Coflow>& coflows) {
   const int num_ports = 2 * coflows.front().demand.n();
 
   std::vector<std::vector<double>> load(num_coflows);
-  for (int k = 0; k < num_coflows; ++k) load[k] = port_loads(coflows[k]);
+  runtime::parallel_for(num_coflows, [&](int k) { load[k] = port_loads(coflows[k]); });
 
   std::vector<double> w(num_coflows);
   for (int k = 0; k < num_coflows; ++k) w[k] = coflows[k].weight;

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -9,18 +10,18 @@ void EventQueue::schedule(Time at, EventFn fn) {
   if (at < now_ - kTimeEps) {
     throw std::logic_error("EventQueue::schedule: event in the past");
   }
-  heap_.push({at, next_seq_++, std::move(fn)});
+  heap_.push_back({at, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::run_one() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the (small) callback instead.
-  Entry e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
   now_ = e.at;
   ++processed_;
-  e.fn();
+  e.fn();  // may re-enter schedule(); the entry is already off the heap
   return true;
 }
 

@@ -6,15 +6,51 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/types.hpp"
 
 namespace reco::sim {
 
-using EventFn = std::function<void()>;
+/// Move-only type-erased callback.  Unlike `std::function`, accepts
+/// callables that are themselves move-only (e.g. lambdas capturing a
+/// `unique_ptr`), and dispatch *moves* entries out of the event heap
+/// instead of deep-copying captured state on every event.
+class EventFn {
+ public:
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& fn)  // NOLINT(google-explicit-constructor): callable adaptor
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(fn))) {}
+
+  EventFn(EventFn&&) noexcept = default;
+  EventFn& operator=(EventFn&&) noexcept = default;
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  void operator()() { (*impl_)(); }
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void operator()() = 0;
+  };
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    void operator()() override { fn(); }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
 
 class EventQueue {
  public:
@@ -44,7 +80,11 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Hand-managed binary heap (std::push_heap / std::pop_heap) instead of
+  // std::priority_queue: top() of the adaptor is const, forcing a copy of
+  // the callback on every dispatch; pop_heap rotates the earliest entry to
+  // the back where it can be moved out.
+  std::vector<Entry> heap_;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

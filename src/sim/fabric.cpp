@@ -1,6 +1,7 @@
 #include "sim/fabric.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "sim/event_queue.hpp"
 #include "trace/rng.hpp"

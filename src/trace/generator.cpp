@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "runtime/parallel.hpp"
 #include "trace/rng.hpp"
 
 namespace reco {
@@ -50,90 +52,112 @@ void sample_m2m_shape(Rng& rng, int n, DensityClass cls, int& rows, int& cols) {
   // failing — only the 150-port calibration targets Table I exactly.
 }
 
+/// Independent per-coflow stream seed: splitmix64 output for state
+/// `options.seed` advanced k+1 steps (the same generator Rng's constructor
+/// uses).  Each coflow consumes its own stream, so coflow k's bits do not
+/// depend on how many draws earlier coflows made — the property that lets
+/// parallel synthesis be bit-identical to the sequential loop.
+std::uint64_t coflow_seed(std::uint64_t seed, std::uint64_t k) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (k + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Synthesize coflow k in isolation.  `gap_out` receives the coflow's
+/// exponential inter-arrival gap; arrivals are prefix-summed by the caller
+/// (the only cross-coflow coupling in the generator).
+Coflow synthesize_coflow(const GeneratorOptions& options, int k, Time& gap_out) {
+  Rng rng(coflow_seed(options.seed, static_cast<std::uint64_t>(k)));
+  const int n = options.num_ports;
+  const Time min_demand = options.c_threshold * options.delta;
+
+  Coflow c;
+  c.id = k;
+  c.weight = options.unit_weights ? 1.0 : rng.uniform();
+  gap_out = 0.0;
+  if (options.mean_interarrival > 0.0) {
+    // Poisson process: exponential inter-arrival gaps.
+    double u = rng.uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    gap_out = -options.mean_interarrival * std::log(u);
+  }
+  c.demand = Matrix(n);
+
+  // Mode first (Table II count mix), then shape.
+  const double mode_draw = rng.uniform();
+  int num_rows = 1;
+  int num_cols = 1;
+  bool m2m = false;
+  if (mode_draw < options.p_s2s) {
+    // single -> single
+  } else if (mode_draw < options.p_s2s + options.p_s2m) {
+    num_cols = sample_width(rng, std::min(n, 30));
+  } else if (mode_draw < options.p_s2s + options.p_s2m + options.p_m2s) {
+    num_rows = sample_width(rng, std::min(n, 30));
+  } else {
+    m2m = true;
+    const double density_draw = rng.uniform();
+    DensityClass cls = DensityClass::kDense;
+    if (density_draw < options.p_m2m_sparse) {
+      cls = DensityClass::kSparse;
+    } else if (density_draw < options.p_m2m_sparse + options.p_m2m_normal) {
+      cls = DensityClass::kNormal;
+    }
+    sample_m2m_shape(rng, n, cls, num_rows, num_cols);
+  }
+
+  std::vector<int> rows_buf(n);
+  std::vector<int> cols_buf(n);
+  rng.sample_distinct(n, num_rows, rows_buf.data());
+  rng.sample_distinct(n, num_cols, cols_buf.data());
+
+  // Flow sizes.  M2M: per-reducer shuffle volume split uniformly across
+  // mappers (the paper's preprocessing); non-M2M: mice-scale flows just
+  // above the optical threshold.  Both get +-perturbation per flow.
+  const double scale = options.m2m_flow_scale * min_demand;
+  for (int jj = 0; jj < num_cols; ++jj) {
+    Time per_mapper;
+    if (m2m) {
+      // Heavy-tailed per-reducer volume, expressed per mapper.
+      per_mapper = scale * rng.lognormal(0.0, 1.0);
+    } else {
+      // Control-plane-scale transfers: genuinely tiny (media ~7% of the
+      // optical threshold, i.e. tens of microseconds at 100 Gb/s).  With
+      // enforce_threshold they are clipped up to c*delta — the paper's
+      // "only elephants enter the OCS" regime; without it they are the
+      // mice of the Sec. VI hybrid experiments.
+      per_mapper = min_demand * rng.lognormal(-2.6, 1.3);
+    }
+    for (int ii = 0; ii < num_rows; ++ii) {
+      const double jitter = 1.0 + options.perturbation * rng.uniform(-1.0, 1.0);
+      // Even "mice" are at least a packet's worth of data (~1 us at line
+      // rate); below that the flow is indistinguishable from round-off.
+      Time d = std::max(per_mapper * jitter, 1e-6);
+      if (options.enforce_threshold) d = std::max(min_demand, d);
+      c.demand.at(rows_buf[ii], cols_buf[jj]) = d;
+    }
+  }
+  return c;
+}
+
 }  // namespace
 
 std::vector<Coflow> generate_workload(const GeneratorOptions& options) {
   if (options.num_ports < 2) {
     throw std::invalid_argument("generate_workload: need at least 2 ports");
   }
-  Rng rng(options.seed);
-  const int n = options.num_ports;
-  const Time min_demand = options.c_threshold * options.delta;
+  std::vector<Coflow> coflows(options.num_coflows);
+  std::vector<Time> gaps(options.num_coflows, 0.0);
+  runtime::parallel_for(options.num_coflows,
+                        [&](int k) { coflows[k] = synthesize_coflow(options, k, gaps[k]); });
 
-  std::vector<Coflow> coflows;
-  coflows.reserve(options.num_coflows);
-
-  std::vector<int> rows_buf(n);
-  std::vector<int> cols_buf(n);
-
+  // Arrival times are the prefix sums of the per-coflow gaps — the one
+  // sequential dependency, applied after the parallel synthesis.
   Time arrival_clock = 0.0;
   for (int k = 0; k < options.num_coflows; ++k) {
-    Coflow c;
-    c.id = k;
-    c.weight = options.unit_weights ? 1.0 : rng.uniform();
-    if (options.mean_interarrival > 0.0) {
-      // Poisson process: exponential inter-arrival gaps.
-      double u = rng.uniform();
-      if (u <= 0.0) u = 0x1.0p-53;
-      arrival_clock += -options.mean_interarrival * std::log(u);
-    }
-    c.arrival = arrival_clock;
-    c.demand = Matrix(n);
-
-    // Mode first (Table II count mix), then shape.
-    const double mode_draw = rng.uniform();
-    int num_rows = 1;
-    int num_cols = 1;
-    bool m2m = false;
-    if (mode_draw < options.p_s2s) {
-      // single -> single
-    } else if (mode_draw < options.p_s2s + options.p_s2m) {
-      num_cols = sample_width(rng, std::min(n, 30));
-    } else if (mode_draw < options.p_s2s + options.p_s2m + options.p_m2s) {
-      num_rows = sample_width(rng, std::min(n, 30));
-    } else {
-      m2m = true;
-      const double density_draw = rng.uniform();
-      DensityClass cls = DensityClass::kDense;
-      if (density_draw < options.p_m2m_sparse) {
-        cls = DensityClass::kSparse;
-      } else if (density_draw < options.p_m2m_sparse + options.p_m2m_normal) {
-        cls = DensityClass::kNormal;
-      }
-      sample_m2m_shape(rng, n, cls, num_rows, num_cols);
-    }
-
-    rng.sample_distinct(n, num_rows, rows_buf.data());
-    rng.sample_distinct(n, num_cols, cols_buf.data());
-
-    // Flow sizes.  M2M: per-reducer shuffle volume split uniformly across
-    // mappers (the paper's preprocessing); non-M2M: mice-scale flows just
-    // above the optical threshold.  Both get +-perturbation per flow.
-    const double scale = options.m2m_flow_scale * min_demand;
-    for (int jj = 0; jj < num_cols; ++jj) {
-      Time per_mapper;
-      if (m2m) {
-        // Heavy-tailed per-reducer volume, expressed per mapper.
-        per_mapper = scale * rng.lognormal(0.0, 1.0);
-      } else {
-        // Control-plane-scale transfers: genuinely tiny (media ~7% of the
-        // optical threshold, i.e. tens of microseconds at 100 Gb/s).  With
-        // enforce_threshold they are clipped up to c*delta — the paper's
-        // "only elephants enter the OCS" regime; without it they are the
-        // mice of the Sec. VI hybrid experiments.
-        per_mapper = min_demand * rng.lognormal(-2.6, 1.3);
-      }
-      for (int ii = 0; ii < num_rows; ++ii) {
-        const double jitter = 1.0 + options.perturbation * rng.uniform(-1.0, 1.0);
-        // Even "mice" are at least a packet's worth of data (~1 us at line
-        // rate); below that the flow is indistinguishable from round-off.
-        Time d = std::max(per_mapper * jitter, 1e-6);
-        if (options.enforce_threshold) d = std::max(min_demand, d);
-        c.demand.at(rows_buf[ii], cols_buf[jj]) = d;
-      }
-    }
-
-    coflows.push_back(std::move(c));
+    arrival_clock += gaps[k];
+    coflows[k].arrival = arrival_clock;
   }
   return coflows;
 }

@@ -119,6 +119,27 @@ TEST(Bvn, MaxMinAmortizedCoefficientWithinTwiceOfExact) {
   }
 }
 
+TEST(Bvn, MaxMinAmortizedHandlesToleranceScaleMatrix) {
+  // Regression: when every surviving entry sits at tolerance scale, the
+  // power-of-two start exp2(ceil(log2(max_entry))) lands *below* the
+  // support threshold the peel and nnz() agree on, so the matcher scanned
+  // sub-tolerance crumbs as real edges.  The start is now clamped to the
+  // support threshold; decomposition must terminate and serve the matrix.
+  const double crumb = 1.6e-9;  // above kTimeEps, below the 2*kTimeEps support threshold
+  Matrix m(3);
+  m.at(0, 1) = m.at(1, 2) = m.at(2, 0) = crumb;
+  ASSERT_GT(m.nnz(), 0);
+  ASSERT_TRUE(m.is_doubly_stochastic(kTimeEps * 3));
+  const CircuitSchedule s = bvn_decompose(m, BvnPolicy::kMaxMinAmortized);
+  EXPECT_TRUE(s.is_valid(3));
+  double served = 0.0;
+  for (const auto& a : s.assignments) {
+    EXPECT_GT(a.duration, 0.0);
+    served += a.duration;
+  }
+  EXPECT_GE(served, crumb - 1e-12);
+}
+
 TEST(Bvn, HandlesStuffedRealDemands) {
   Rng rng(56);
   for (int trial = 0; trial < 10; ++trial) {

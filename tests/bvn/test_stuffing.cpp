@@ -62,6 +62,30 @@ TEST(Stuffing, RejectsNonPositiveQuantum) {
   EXPECT_THROW(stuff_granular(Matrix(2), 0.0), std::invalid_argument);
 }
 
+TEST(Stuffing, RepairsResidualSlackFromToleranceCrumbs) {
+  // Regression: every column is short by a *sub*-tolerance crumb (clamped
+  // to zero slack individually), while one row is short by the *sum* of
+  // the crumbs — a multi-eps deficit.  The greedy fill used to skip all of
+  // it via approx_zero and silently return a matrix that is not doubly
+  // stochastic at kTimeEps; the repair pass must settle the exact deficit.
+  const double crumb = 0.8e-9;  // < kTimeEps, so per-column slack clamps to 0
+  const int n = 4;
+  Matrix d(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) d.at(i, j) = 0.25;
+  }
+  for (int j = 0; j < n; ++j) d.at(3, j) = 0.25 - crumb;  // row 3 short by 4 crumbs
+  ASSERT_DOUBLE_EQ(d.rho(), 1.0);
+
+  const Matrix s = stuff(d);
+  EXPECT_TRUE(s.is_doubly_stochastic(kTimeEps));
+  EXPECT_TRUE(s.covers(d));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(s.row_sum(i), 1.0, kTimeEps) << "row " << i;
+    EXPECT_NEAR(s.col_sum(i), 1.0, kTimeEps) << "col " << i;
+  }
+}
+
 TEST(StuffingProperty, RandomMatricesStuffCorrectly) {
   Rng rng(41);
   for (int trial = 0; trial < 50; ++trial) {

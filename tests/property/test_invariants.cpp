@@ -11,11 +11,15 @@
 //   L6  determinism: same seed => bit-identical outcomes.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/lower_bound.hpp"
 #include "core/slice.hpp"
 #include "ocs/all_stop_executor.hpp"
 #include "sched/bvn_baseline.hpp"
 #include "sched/multi_baselines.hpp"
+#include "sched/packet_scheduler.hpp"
+#include "sched/reco_mul.hpp"
 #include "sched/reco_sin.hpp"
 #include "sched/solstice.hpp"
 #include "sched/sunflow.hpp"
@@ -117,6 +121,36 @@ TEST_P(MultiCoflowLaws, DeterministicAcrossRuns) {
     EXPECT_EQ(a.schedule[f], b.schedule[f]);
   }
   EXPECT_DOUBLE_EQ(a.total_weighted_cct, b.total_weighted_cct);
+}
+
+class Lemma2Laws : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma2Laws, ::testing::Values(5, 15, 25, 35, 45));
+
+TEST_P(Lemma2Laws, TransformGridAlignedAndConflictFreeWhenThresholdHolds) {
+  // Lemma 2: when every demand is >= c*delta, stretching by
+  // (floor(sqrt(c))+1)/floor(sqrt(c)) then snapping starts *down* to the
+  // sqrt(c)*delta grid never makes two flows sharing a port overlap — the
+  // legalization pass must be a no-op.  We check its two observable
+  // promises directly on the pseudo-time schedule: per-port
+  // non-overlapping, and every start an exact grid multiple.
+  Rng rng(GetParam());
+  const Time delta = rng.uniform(0.01, 0.2);
+  const double c = rng.uniform(1.0, 9.0);
+  const auto coflows =
+      testing::random_workload(rng, rng.uniform_int(4, 10), rng.uniform_int(4, 10), delta, c);
+  const SliceSchedule packet = packet_schedule(coflows, bssi_order(coflows));
+  const RecoMulSchedule t = reco_mul_transform(packet, delta, c);
+
+  EXPECT_TRUE(is_port_feasible(t.pseudo));  // non-overlapping per port
+  EXPECT_TRUE(is_port_feasible(t.real));
+  const Time grid = std::sqrt(c) * delta;
+  for (const FlowSlice& s : t.pseudo) {
+    const double k = s.start / grid;
+    EXPECT_NEAR(k, std::round(k), 1e-6) << "pseudo start " << s.start
+                                        << " off the sqrt(c)*delta grid (grid=" << grid << ")";
+  }
+  ASSERT_EQ(t.pseudo.size(), packet.size());  // legalization dropped nothing
 }
 
 TEST(PropertySmoke, GeneratedTraceNeverViolatesThresholdByDefault) {

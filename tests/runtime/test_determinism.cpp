@@ -1,0 +1,88 @@
+// The determinism contract of the parallel runtime: for a fixed seed,
+// every schedule, workload, and exported CSV byte is identical at
+// RECO_THREADS = 1, 2, and 8.  This is what lets EXPERIMENTS.md quote one
+// set of numbers regardless of the machine running the benches.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "sched/multi_baselines.hpp"
+#include "stats/csv.hpp"
+#include "trace/generator.hpp"
+
+namespace reco {
+namespace {
+
+struct Snapshot {
+  std::vector<Coflow> workload;
+  std::string reco_mul_csv;
+  std::string sebf_csv;
+};
+
+Snapshot run_at(int threads) {
+  runtime::set_thread_count(threads);
+  // The synthetic fb-trace workload at a fixed seed, through both
+  // parallelized pipelines (per-coflow planning fan-out + parallel trace
+  // synthesis).
+  GeneratorOptions g;
+  g.num_ports = 24;
+  g.num_coflows = 40;
+  g.seed = 20190707;
+  Snapshot s;
+  s.workload = generate_workload(g);
+  const MultiScheduleResult mul = reco_mul_pipeline(s.workload, g.delta, g.c_threshold);
+  const MultiScheduleResult sebf = sebf_solstice(s.workload, g.delta);
+  std::ostringstream mul_csv, sebf_csv;
+  write_slices_csv(mul_csv, mul.schedule);
+  write_slices_csv(sebf_csv, sebf.schedule);
+  s.reco_mul_csv = mul_csv.str();
+  s.sebf_csv = sebf_csv.str();
+  return s;
+}
+
+TEST(ParallelDeterminism, ThreadCountNeverChangesSchedulesOrCsv) {
+  const Snapshot base = run_at(1);
+  for (const int threads : {2, 8}) {
+    const Snapshot other = run_at(threads);
+    ASSERT_EQ(base.workload.size(), other.workload.size()) << threads << " threads";
+    for (std::size_t k = 0; k < base.workload.size(); ++k) {
+      EXPECT_EQ(base.workload[k].demand, other.workload[k].demand)
+          << "coflow " << k << " at " << threads << " threads";
+      EXPECT_DOUBLE_EQ(base.workload[k].weight, other.workload[k].weight);
+      EXPECT_DOUBLE_EQ(base.workload[k].arrival, other.workload[k].arrival);
+    }
+    EXPECT_EQ(base.reco_mul_csv, other.reco_mul_csv) << threads << " threads";
+    EXPECT_EQ(base.sebf_csv, other.sebf_csv) << threads << " threads";
+  }
+  runtime::set_thread_count(0);  // restore the env/hardware default
+  EXPECT_FALSE(base.reco_mul_csv.empty());
+  EXPECT_FALSE(base.sebf_csv.empty());
+}
+
+TEST(ParallelDeterminism, ArrivalProcessSurvivesParallelSynthesis) {
+  // Poisson arrivals are prefix sums of per-coflow gaps; parallel synthesis
+  // must reproduce the sequential clock exactly.
+  GeneratorOptions g;
+  g.num_ports = 16;
+  g.num_coflows = 64;
+  g.seed = 99;
+  g.mean_interarrival = 0.5;
+  runtime::set_thread_count(1);
+  const auto seq = generate_workload(g);
+  runtime::set_thread_count(8);
+  const auto par = generate_workload(g);
+  runtime::set_thread_count(0);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t k = 1; k < seq.size(); ++k) {
+    EXPECT_GE(seq[k].arrival, seq[k - 1].arrival);  // monotone clock
+  }
+  for (std::size_t k = 0; k < seq.size(); ++k) {
+    EXPECT_DOUBLE_EQ(seq[k].arrival, par[k].arrival) << "coflow " << k;
+  }
+}
+
+}  // namespace
+}  // namespace reco

@@ -1,0 +1,105 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+
+namespace reco::runtime {
+namespace {
+
+/// RAII: force a thread count for one test, restore the default after.
+struct ScopedThreads {
+  explicit ScopedThreads(int n) { set_thread_count(n); }
+  ~ScopedThreads() { set_thread_count(0); }
+};
+
+TEST(ThreadPool, SubmittedJobsRun) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  std::atomic<int> ran{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&] {
+      if (ran.fetch_add(1) + 1 == 20) {
+        std::lock_guard<std::mutex> lock(mu);  // pair with the wait to avoid lost wakeups
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ran.load() == 20; });
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, SequentialPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  bool ran = false;
+  pool.submit([&] { ran = true; });  // runs on the calling thread
+  EXPECT_TRUE(ran);
+}
+
+TEST(ParallelFor, EveryIndexRunsExactlyOnce) {
+  ScopedThreads threads(4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, SingleThreadRunsOnCallerThread) {
+  ScopedThreads threads(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(64);
+  parallel_for(64, [&](int i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ScopedThreads threads(4);
+  EXPECT_THROW(
+      parallel_for(100,
+                   [&](int i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  ScopedThreads threads(4);
+  std::atomic<int> total{0};
+  parallel_for(8, [&](int) { parallel_for(8, [&](int) { total.fetch_add(1); }); });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelMap, PreservesInputOrder) {
+  ScopedThreads threads(8);
+  std::vector<int> items(500);
+  std::iota(items.begin(), items.end(), 0);
+  const std::vector<int> out = parallel_map(items, [](const int& x) { return x * x; });
+  ASSERT_EQ(out.size(), items.size());
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], items[i] * items[i]);
+}
+
+TEST(ParallelMap, EmptyInputYieldsEmptyOutput) {
+  const std::vector<int> none;
+  EXPECT_TRUE(parallel_map(none, [](const int& x) { return x; }).empty());
+}
+
+TEST(Runtime, ThreadCountOverrideAndRestore) {
+  set_thread_count(7);
+  EXPECT_EQ(thread_count(), 7);
+  EXPECT_EQ(global_pool().num_workers(), 6);  // caller is the 7th lane
+  set_thread_count(0);
+  EXPECT_GE(thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace reco::runtime

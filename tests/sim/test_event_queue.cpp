@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 namespace reco::sim {
@@ -51,6 +53,40 @@ TEST(EventQueue, RejectsPastEvents) {
 TEST(EventQueue, RunOneOnEmptyReturnsFalse) {
   EventQueue q;
   EXPECT_FALSE(q.run_one());
+}
+
+TEST(EventQueue, MoveOnlyCallbackCanBeScheduled) {
+  // Regression: dispatch used to copy the std::function out of
+  // priority_queue::top(), which both deep-copied captured state per event
+  // and made move-only captures (unique_ptr and friends) unrepresentable.
+  EventQueue q;
+  auto payload = std::make_unique<int>(42);
+  int observed = 0;
+  q.schedule(1.0, [p = std::move(payload), &observed] { observed = *p; });
+  q.run_all();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(EventQueue, DispatchMovesInsteadOfCopies) {
+  // A callback whose capture counts its own copies: dispatch must not add
+  // any beyond what scheduling itself needed.
+  struct CopyCounter {
+    int* copies;
+    explicit CopyCounter(int* c) : copies(c) {}
+    CopyCounter(const CopyCounter& other) : copies(other.copies) { ++*copies; }
+    CopyCounter(CopyCounter&& other) noexcept : copies(other.copies) {}
+  };
+  EventQueue q;
+  int copies = 0;
+  int fired = 0;
+  q.schedule(1.0, [counter = CopyCounter(&copies), &fired] {
+    (void)counter;
+    ++fired;
+  });
+  const int copies_after_schedule = copies;
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(copies, copies_after_schedule);  // zero copies during dispatch
 }
 
 TEST(EventQueue, SameTimeAsNowIsAllowed) {
