@@ -1,11 +1,30 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels: matching,
 // decomposition, and scheduling throughput.  These are not paper figures;
-// they justify the incremental-matcher design (see DESIGN.md §3).
+// they justify the sparse support-index design (see DESIGN.md §3).
+//
+// Inputs are density-swept: every kernel runs at DS in {0.05, 0.1, 0.2,
+// 0.5, 1.0} (second Arg, in permille) plus a trace-like input that mimics
+// the paper's Facebook workload (a coflow touches a small rectangle of
+// ports).  Each sparse kernel has a retained dense twin from
+// reco::dense_reference, so `sparse vs dense at equal nnz` is a single
+// grep through the output.  Every benchmark reports `nnz` and `N` as
+// counters.
+//
+// `--baseline_json=FILE` writes a machine-readable baseline
+// (name -> {ns_per_op, nnz, N}); see docs/SIMULATOR.md for how
+// BENCH_microkernels.json is regenerated.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "bvn/bvn.hpp"
+#include "bvn/dense_reference.hpp"
 #include "bvn/regularization.hpp"
 #include "bvn/stuffing.hpp"
+#include "core/support_index.hpp"
 #include "matching/bottleneck.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "ocs/all_stop_executor.hpp"
@@ -18,71 +37,198 @@ namespace {
 
 using namespace reco;
 
-Matrix dense_random(int n, std::uint64_t seed) {
+/// Bernoulli-sparse demand: each entry is nonzero with probability
+/// `density` (the DS knob of the density sweep).
+Matrix sparse_random(int n, double density, std::uint64_t seed) {
   Rng rng(seed);
   Matrix m(n);
   for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) m.at(i, j) = rng.uniform(0.5, 10.0);
+    for (int j = 0; j < n; ++j) {
+      if (rng.uniform(0.0, 1.0) < density) m.at(i, j) = rng.uniform(0.5, 10.0);
+    }
   }
   return m;
 }
 
-void BM_HopcroftKarpDense(benchmark::State& state) {
+/// Trace-like sparsity: a coflow touches a small set of senders and
+/// receivers (Table I's sparse class dominates the Facebook trace), so its
+/// demand lives in a thin random rectangle of the port matrix.
+Matrix trace_like(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n);
+  const int senders = 2 + static_cast<int>(rng.uniform_int(n / 8 + 1));
+  const int receivers = 2 + static_cast<int>(rng.uniform_int(n / 8 + 1));
+  std::vector<int> rows, cols;
+  for (int k = 0; k < senders; ++k) rows.push_back(static_cast<int>(rng.uniform_int(n)));
+  for (int k = 0; k < receivers; ++k) cols.push_back(static_cast<int>(rng.uniform_int(n)));
+  for (const int i : rows) {
+    for (const int j : cols) {
+      if (rng.uniform(0.0, 1.0) < 0.7) m.at(i, j) = rng.uniform(0.5, 10.0);
+    }
+  }
+  return m;
+}
+
+/// Density sweep shared by the kernel benchmarks: Args are {N, DS_permille}.
+void DensitySweep(benchmark::internal::Benchmark* b) {
+  for (const int n : {32, 64, 128}) {
+    for (const int permille : {50, 100, 200, 500, 1000}) b->Args({n, permille});
+  }
+}
+
+Matrix swept_input(const benchmark::State& state, std::uint64_t seed) {
   const int n = static_cast<int>(state.range(0));
-  const Matrix m = dense_random(n, 1);
+  const double density = static_cast<double>(state.range(1)) / 1000.0;
+  return sparse_random(n, density, seed + static_cast<std::uint64_t>(n) * 1000 +
+                                       static_cast<std::uint64_t>(state.range(1)));
+}
+
+void report_shape(benchmark::State& state, const Matrix& m) {
+  state.counters["N"] = static_cast<double>(m.n());
+  state.counters["nnz"] = static_cast<double>(m.nnz());
+}
+
+// ---- threshold matching (Hopcroft–Karp over the support) -----------------
+
+void BM_ThresholdMatchingDense(benchmark::State& state) {
+  const Matrix m = swept_input(state, 1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(threshold_matching(m, 0.5).size);
   }
+  report_shape(state, m);
 }
-BENCHMARK(BM_HopcroftKarpDense)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_ThresholdMatchingDense)->Apply(DensitySweep);
 
-void BM_BottleneckMatching(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const Matrix m = dense_random(n, 2);
+void BM_ThresholdMatchingSparse(benchmark::State& state) {
+  const SupportIndex idx(swept_input(state, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(threshold_matching(idx, 0.5).size);
+  }
+  report_shape(state, idx.matrix());
+}
+BENCHMARK(BM_ThresholdMatchingSparse)->Apply(DensitySweep);
+
+// ---- exact bottleneck matching -------------------------------------------
+
+void BM_BottleneckMatchingDense(benchmark::State& state) {
+  const Matrix m = stuff(swept_input(state, 2));
   for (auto _ : state) {
     benchmark::DoNotOptimize(bottleneck_perfect_matching(m)->bottleneck);
   }
+  report_shape(state, m);
 }
-BENCHMARK(BM_BottleneckMatching)->Arg(32)->Arg(64);
+BENCHMARK(BM_BottleneckMatchingDense)->Apply(DensitySweep);
+
+void BM_BottleneckMatchingSparse(benchmark::State& state) {
+  const SupportIndex idx(stuff(swept_input(state, 2)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bottleneck_perfect_matching(idx)->bottleneck);
+  }
+  report_shape(state, idx.matrix());
+}
+BENCHMARK(BM_BottleneckMatchingSparse)->Apply(DensitySweep);
+
+// ---- BvN peel (the acceptance kernel: >= 3x at N=128, DS <= 0.2) ---------
+
+void BM_BvnPeelDense(benchmark::State& state) {
+  const Matrix m = stuff(swept_input(state, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dense_reference::bvn_decompose(m, BvnPolicy::kFirstMatching).num_assignments());
+  }
+  report_shape(state, m);
+}
+BENCHMARK(BM_BvnPeelDense)->Apply(DensitySweep);
+
+void BM_BvnPeelSparse(benchmark::State& state) {
+  const Matrix m = stuff(swept_input(state, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bvn_decompose(SupportIndex(m), BvnPolicy::kFirstMatching).num_assignments());
+  }
+  report_shape(state, m);
+}
+BENCHMARK(BM_BvnPeelSparse)->Apply(DensitySweep);
+
+void BM_BvnPeelDenseTraceLike(benchmark::State& state) {
+  const Matrix m = stuff(trace_like(static_cast<int>(state.range(0)), 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dense_reference::bvn_decompose(m, BvnPolicy::kFirstMatching).num_assignments());
+  }
+  report_shape(state, m);
+}
+BENCHMARK(BM_BvnPeelDenseTraceLike)->Arg(64)->Arg(128);
+
+void BM_BvnPeelSparseTraceLike(benchmark::State& state) {
+  const Matrix m = stuff(trace_like(static_cast<int>(state.range(0)), 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bvn_decompose(SupportIndex(m), BvnPolicy::kFirstMatching).num_assignments());
+  }
+  report_shape(state, m);
+}
+BENCHMARK(BM_BvnPeelSparseTraceLike)->Arg(64)->Arg(128);
+
+// ---- stuffing ------------------------------------------------------------
+
+void BM_StuffDense(benchmark::State& state) {
+  const Matrix m = swept_input(state, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense_reference::stuff(m).nnz());
+  }
+  report_shape(state, m);
+}
+BENCHMARK(BM_StuffDense)->Apply(DensitySweep);
+
+void BM_StuffSparse(benchmark::State& state) {
+  const Matrix m = swept_input(state, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stuff(m).nnz());
+  }
+  report_shape(state, m);
+}
+BENCHMARK(BM_StuffSparse)->Apply(DensitySweep);
 
 void BM_RegularizeAndStuff(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const Matrix m = dense_random(n, 3);
+  const Matrix m = swept_input(state, 3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(stuff_granular(regularize(m, 0.25), 0.25).nnz());
   }
+  report_shape(state, m);
 }
-BENCHMARK(BM_RegularizeAndStuff)->Arg(64)->Arg(150);
+BENCHMARK(BM_RegularizeAndStuff)->Apply(DensitySweep);
 
-void BM_BvnFirstMatching(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const Matrix m = stuff(dense_random(n, 4));
+// ---- end-to-end schedulers ----------------------------------------------
+
+void BM_SolsticeDense(benchmark::State& state) {
+  const Matrix m = swept_input(state, 6);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bvn_decompose(m, BvnPolicy::kFirstMatching).num_assignments());
+    benchmark::DoNotOptimize(dense_reference::solstice(m).num_assignments());
   }
+  report_shape(state, m);
 }
-BENCHMARK(BM_BvnFirstMatching)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_SolsticeDense)->Apply(DensitySweep);
+
+void BM_SolsticeSparse(benchmark::State& state) {
+  const Matrix m = swept_input(state, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solstice(m).num_assignments());
+  }
+  report_shape(state, m);
+}
+BENCHMARK(BM_SolsticeSparse)->Apply(DensitySweep);
 
 void BM_RecoSinEndToEnd(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const Matrix m = dense_random(n, 5);
+  const Matrix m = swept_input(state, 5);
   const Time delta = 0.25;
   for (auto _ : state) {
     const CircuitSchedule s = reco_sin(m, delta);
     benchmark::DoNotOptimize(execute_all_stop(s, m, delta).cct);
   }
+  report_shape(state, m);
 }
-BENCHMARK(BM_RecoSinEndToEnd)->Arg(16)->Arg(32)->Arg(64);
-
-void BM_SolsticeEndToEnd(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const Matrix m = dense_random(n, 6);
-  for (auto _ : state) {
-    const CircuitSchedule s = solstice(m);
-    benchmark::DoNotOptimize(execute_all_stop(s, m, 0.25).cct);
-  }
-}
-BENCHMARK(BM_SolsticeEndToEnd)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_RecoSinEndToEnd)->Args({16, 1000})->Args({32, 500})->Args({64, 200});
 
 void BM_WorkloadGeneration(benchmark::State& state) {
   GeneratorOptions o;
@@ -94,6 +240,76 @@ void BM_WorkloadGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadGeneration)->Arg(64)->Arg(526);
 
+// ---- baseline reporter ---------------------------------------------------
+
+/// Console output plus an in-memory collection of per-benchmark results,
+/// flushed to `--baseline_json=FILE` as {name: {ns_per_op, nnz, N}}.
+class BaselineReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double ns_per_op = 0.0;
+    double nnz = 0.0;
+    double n = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.ns_per_op = run.GetAdjustedRealTime();  // default time unit: ns
+      const auto nnz = run.counters.find("nnz");
+      const auto n = run.counters.find("N");
+      if (nnz != run.counters.end()) row.nnz = nnz->second.value;
+      if (n != run.counters.end()) row.n = n->second.value;
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  bool write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    for (std::size_t k = 0; k < rows_.size(); ++k) {
+      const Row& r = rows_[k];
+      std::fprintf(f, "  \"%s\": {\"ns_per_op\": %.1f, \"nnz\": %.0f, \"N\": %.0f}%s\n",
+                   r.name.c_str(), r.ns_per_op, r.nnz, r.n,
+                   k + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::vector<char*> args;
+  for (int a = 0; a < argc; ++a) {
+    const std::string arg = argv[a];
+    constexpr const char* kFlag = "--baseline_json=";
+    if (arg.rfind(kFlag, 0) == 0) {
+      baseline_path = arg.substr(std::string(kFlag).size());
+    } else {
+      args.push_back(argv[a]);
+    }
+  }
+  int argn = static_cast<int>(args.size());
+  benchmark::Initialize(&argn, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argn, args.data())) return 1;
+  BaselineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!baseline_path.empty() && !reporter.write_json(baseline_path)) {
+    std::fprintf(stderr, "failed to write %s\n", baseline_path.c_str());
+    return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "matching/bottleneck.hpp"
+#include "matching/hopcroft_karp.hpp"
 #include "matching/incremental_matcher.hpp"
 
 namespace reco {
@@ -16,12 +18,16 @@ constexpr double kSupportThreshold = 2 * kTimeEps;
 
 /// Extract one assignment from the current matcher state: coefficient is
 /// the minimum entry along the perfect matching; subtract it everywhere.
-CircuitAssignment extract_and_subtract(Matrix& m, IncrementalMatcher& matcher, int& nnz_left) {
+CircuitAssignment extract_and_subtract(SupportIndex& m, IncrementalMatcher& matcher) {
   const int n = m.n();
   double coefficient = std::numeric_limits<double>::infinity();
   for (int i = 0; i < n; ++i) {
     coefficient = std::min(coefficient, m.at(i, matcher.matched_col(i)));
   }
+  // At the support threshold an edge is present iff its entry is nonzero,
+  // so only entries that hit exact zero can unmatch; skip the notification
+  // for the rest (it would be a no-op probe).
+  const bool support_only = matcher.threshold() <= kSupportThreshold;
   CircuitAssignment a;
   a.duration = coefficient;
   a.circuits.reserve(n);
@@ -29,22 +35,20 @@ CircuitAssignment extract_and_subtract(Matrix& m, IncrementalMatcher& matcher, i
     const int j = matcher.matched_col(i);
     a.circuits.push_back({i, j});
     const double before = m.at(i, j);
-    m.at(i, j) = clamp_zero(before - coefficient);
-    if (approx_zero(m.at(i, j)) && !approx_zero(before)) --nnz_left;
-    matcher.on_entry_changed(i, j);
+    const double after = clamp_zero(before - coefficient);
+    m.set(i, j, after);
+    if (!support_only || after == 0.0) matcher.on_entry_changed(i, j);
   }
   return a;
 }
 
-CircuitSchedule peel(Matrix m, double initial_threshold, bool halve_on_failure) {
-  const int n = m.n();
+CircuitSchedule peel(SupportIndex m, double initial_threshold, bool halve_on_failure) {
   CircuitSchedule schedule;
-  int nnz_left = m.nnz();
   IncrementalMatcher matcher(m, initial_threshold);
-  while (nnz_left > 0) {
+  while (m.nnz() > 0) {
     matcher.rematch();
     if (matcher.is_perfect()) {
-      schedule.assignments.push_back(extract_and_subtract(m, matcher, nnz_left));
+      schedule.assignments.push_back(extract_and_subtract(m, matcher));
       continue;
     }
     if (!halve_on_failure || matcher.threshold() <= kSupportThreshold) {
@@ -59,11 +63,10 @@ CircuitSchedule peel(Matrix m, double initial_threshold, bool halve_on_failure) 
     const double next = matcher.threshold() / 2.0;
     matcher.set_threshold(next > kSupportThreshold ? next : kSupportThreshold);
   }
-  (void)n;
   return schedule;
 }
 
-CircuitSchedule peel_exact_bottleneck(Matrix m) {
+CircuitSchedule peel_exact_bottleneck(SupportIndex m) {
   CircuitSchedule schedule;
   while (m.nnz() > 0) {
     const auto match = bottleneck_perfect_matching(m);
@@ -78,16 +81,31 @@ CircuitSchedule peel_exact_bottleneck(Matrix m) {
     a.circuits.reserve(match->pairs.size());
     for (const auto& [i, j] : match->pairs) {
       a.circuits.push_back({i, j});
-      m.at(i, j) = clamp_zero(m.at(i, j) - match->bottleneck);
+      m.set(i, j, clamp_zero(m.at(i, j) - match->bottleneck));
     }
     schedule.assignments.push_back(std::move(a));
   }
   return schedule;
 }
 
+/// Doubly-stochastic check from the index's incrementally maintained sums:
+/// O(N) instead of an O(N^2) rescan.  Incremental drift is ~machine-eps
+/// per mutation, orders of magnitude below the eps*N tolerance used here.
+bool is_doubly_stochastic(const SupportIndex& m, double eps) {
+  if (m.n() == 0) return true;
+  const Time target = m.row_sum(0);
+  for (int i = 0; i < m.n(); ++i) {
+    if (std::abs(m.row_sum(i) - target) > eps) return false;
+  }
+  for (int j = 0; j < m.n(); ++j) {
+    if (std::abs(m.col_sum(j) - target) > eps) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-CircuitSchedule cover_decompose(Matrix m) {
+CircuitSchedule cover_decompose(SupportIndex m) {
   CircuitSchedule schedule;
   while (m.nnz() > 0) {
     const MatchingResult match = threshold_matching(m, kSupportThreshold);
@@ -97,7 +115,7 @@ CircuitSchedule cover_decompose(Matrix m) {
       if (j == -1) continue;
       a.duration = std::max(a.duration, m.at(i, j));
       a.circuits.push_back({i, j});
-      m.at(i, j) = 0.0;
+      m.set(i, j, 0.0);
     }
     if (a.circuits.empty()) break;  // unreachable: nnz>0 implies a matchable edge
     schedule.assignments.push_back(std::move(a));
@@ -105,8 +123,12 @@ CircuitSchedule cover_decompose(Matrix m) {
   return schedule;
 }
 
-CircuitSchedule bvn_decompose(Matrix m, BvnPolicy policy) {
-  if (!m.is_doubly_stochastic(kTimeEps * std::max(1, m.n()))) {
+CircuitSchedule cover_decompose(Matrix m) {
+  return cover_decompose(SupportIndex(std::move(m)));
+}
+
+CircuitSchedule bvn_decompose(SupportIndex m, BvnPolicy policy) {
+  if (!is_doubly_stochastic(m, kTimeEps * std::max(1, m.n()))) {
     throw std::invalid_argument("bvn_decompose: matrix is not doubly stochastic");
   }
   if (m.n() == 0 || m.nnz() == 0) return {};
@@ -128,6 +150,10 @@ CircuitSchedule bvn_decompose(Matrix m, BvnPolicy policy) {
       return peel_exact_bottleneck(std::move(m));
   }
   throw std::logic_error("bvn_decompose: unknown policy");
+}
+
+CircuitSchedule bvn_decompose(Matrix m, BvnPolicy policy) {
+  return bvn_decompose(SupportIndex(std::move(m)), policy);
 }
 
 }  // namespace reco

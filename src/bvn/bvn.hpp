@@ -20,6 +20,7 @@
 
 #include "core/circuit.hpp"
 #include "core/matrix.hpp"
+#include "core/support_index.hpp"
 
 namespace reco {
 
@@ -35,6 +36,13 @@ enum class BvnPolicy {
 /// at least one entry.
 CircuitSchedule bvn_decompose(Matrix m, BvnPolicy policy);
 
+/// Sparse-path variant for callers that already carry a SupportIndex
+/// (the Reco-Sin pipeline builds one index and threads it through
+/// regularize -> stuff -> decompose).  Peeling cost is proportional to the
+/// support: O(nnz * sqrt(N)) for the initial matching plus O(degree) per
+/// repaired edge per round, versus O(rounds * N^2) for a dense rescan.
+CircuitSchedule bvn_decompose(SupportIndex m, BvnPolicy policy);
+
 /// Cover an arbitrary non-negative matrix with matchings: each round takes
 /// a maximum matching on the nonzero support and holds it for the largest
 /// matched entry, zeroing everything matched.  The service matrix *covers*
@@ -42,5 +50,6 @@ CircuitSchedule bvn_decompose(Matrix m, BvnPolicy policy);
 /// used to finish the tolerance-scale residue that floating-point slicing
 /// leaves behind, and usable on its own as a crude scheduler.
 CircuitSchedule cover_decompose(Matrix m);
+CircuitSchedule cover_decompose(SupportIndex m);
 
 }  // namespace reco

@@ -1,0 +1,39 @@
+// Retained dense (pre-sparse-index) implementations of the decomposition
+// stack, frozen at their original O(N^2)-per-round form.
+//
+// Two consumers, neither on a production path:
+//   * the dense-vs-sparse equivalence property test
+//     (tests/property/test_sparse_equivalence.cpp) asserts that the
+//     SupportIndex-based kernels produce identical CircuitSchedules to
+//     these references across sizes, densities, and policies;
+//   * bench_micro_kernels measures the sparse path's speedup against this
+//     baseline (the acceptance bar for the sparse index work).
+//
+// Do not "optimize" these: their value is being a faithful copy of the
+// dense algorithms the sparse kernels must reproduce bit-for-bit on the
+// support (see DESIGN.md §3, "Complexity & sparsity").
+#pragma once
+
+#include "core/circuit.hpp"
+#include "core/matrix.hpp"
+#include "core/types.hpp"
+
+#include "bvn/bvn.hpp"  // BvnPolicy
+
+namespace reco::dense_reference {
+
+/// Dense Birkhoff decomposition: full-matrix nnz() rescan per round, Kuhn
+/// augmentation probing all N columns per row.
+CircuitSchedule bvn_decompose(Matrix m, BvnPolicy policy);
+
+/// Dense matching cover of an arbitrary non-negative matrix.
+CircuitSchedule cover_decompose(Matrix m);
+
+/// Dense greedy stuffing (O(N^2) slack sweep + repair pass).
+Matrix stuff(const Matrix& demand, Time target = 0.0);
+Matrix stuff_granular(const Matrix& demand, Time quantum);
+
+/// Dense Solstice: stuffing + power-of-two slicing with the dense matcher.
+CircuitSchedule solstice(const Matrix& demand, Time delta = 100e-6);
+
+}  // namespace reco::dense_reference

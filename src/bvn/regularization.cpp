@@ -26,6 +26,17 @@ Matrix regularize(const Matrix& demand, Time quantum) {
   return out;
 }
 
+SupportIndex regularize(const SupportIndex& demand, Time quantum) {
+  if (quantum <= 0.0) throw std::invalid_argument("regularize: quantum must be positive");
+  SupportIndex out = SupportIndex::zeros(demand.n());
+  for (int i = 0; i < demand.n(); ++i) {
+    for (const int j : demand.row_support(i)) {
+      out.set(i, j, round_up_to_quantum(demand.at(i, j), quantum));
+    }
+  }
+  return out;
+}
+
 Time regularization_overhead(const Matrix& demand, Time quantum) {
   const Matrix reg = regularize(demand, quantum);
   return reg.total() - demand.total();

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "core/matrix.hpp"
+#include "core/support_index.hpp"
 #include "core/types.hpp"
 
 namespace reco {
@@ -12,6 +13,12 @@ namespace reco {
 /// d_ij -> ceil(d_ij / quantum) * quantum for nonzero entries; zeros stay
 /// zero (regularization only inflates existing demands, footnote 5).
 Matrix regularize(const Matrix& demand, Time quantum);
+
+/// Sparse path: iterate the support directly (O(nnz) instead of O(N^2))
+/// and return the result as an index, ready for stuffing/decomposition.
+/// Regularization never changes the support (zeros stay zero, nonzeros
+/// stay nonzero), so the output index inherits the input's structure.
+SupportIndex regularize(const SupportIndex& demand, Time quantum);
 
 /// The total inflation added by regularization (sum of the per-entry
 /// round-ups); bounded by nnz(D) * quantum.

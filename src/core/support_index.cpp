@@ -1,0 +1,112 @@
+#include "core/support_index.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace reco {
+
+namespace {
+
+void insert_sorted(std::vector<int>& v, int x) {
+  v.insert(std::lower_bound(v.begin(), v.end(), x), x);
+}
+
+void erase_sorted(std::vector<int>& v, int x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  // The caller only erases indices it previously inserted.
+  v.erase(it);
+}
+
+}  // namespace
+
+SupportIndex::SupportIndex(Matrix m) : m_(std::move(m)) {
+  const int n = m_.n();
+  row_adj_.assign(n, {});
+  col_adj_.assign(n, {});
+  row_sum_.assign(n, 0.0);
+  col_sum_.assign(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double& cell = m_.at(i, j);
+      if (approx_zero(cell)) {
+        cell = 0.0;  // snap ingest crumbs so support == {exactly nonzero}
+        continue;
+      }
+      row_adj_[i].push_back(j);
+      col_adj_[j].push_back(i);
+      row_sum_[i] += cell;
+      col_sum_[j] += cell;
+      ++nnz_;
+    }
+  }
+}
+
+SupportIndex SupportIndex::zeros(int n) {
+  SupportIndex idx;
+  idx.m_ = Matrix(n);
+  idx.row_adj_.assign(n, {});
+  idx.col_adj_.assign(n, {});
+  idx.row_sum_.assign(n, 0.0);
+  idx.col_sum_.assign(n, 0.0);
+  return idx;
+}
+
+Matrix SupportIndex::release() {
+  Matrix out = std::move(m_);
+  *this = SupportIndex();
+  return out;
+}
+
+void SupportIndex::update_support(int i, int j, bool now) {
+  if (now) {
+    insert_sorted(row_adj_[i], j);
+    insert_sorted(col_adj_[j], i);
+    ++nnz_;
+  } else {
+    erase_sorted(row_adj_[i], j);
+    erase_sorted(col_adj_[j], i);
+    --nnz_;
+  }
+}
+
+Time SupportIndex::rho() const {
+  Time r = 0.0;
+  for (const Time s : row_sum_) r = std::max(r, s);
+  for (const Time s : col_sum_) r = std::max(r, s);
+  return r;
+}
+
+int SupportIndex::tau() const {
+  std::size_t t = 0;
+  for (const auto& adj : row_adj_) t = std::max(t, adj.size());
+  for (const auto& adj : col_adj_) t = std::max(t, adj.size());
+  return static_cast<int>(t);
+}
+
+double SupportIndex::max_entry() const {
+  double m = 0.0;
+  for (int i = 0; i < n(); ++i) {
+    for (const int j : row_adj_[i]) m = std::max(m, m_.at(i, j));
+  }
+  return m;
+}
+
+Time SupportIndex::total() const {
+  Time s = 0.0;
+  for (const Time r : row_sum_) s += r;
+  return s;
+}
+
+Time SupportIndex::row_sum_exact(int i) const {
+  Time s = 0.0;
+  for (const int j : row_adj_[i]) s += m_.at(i, j);
+  return s;
+}
+
+Time SupportIndex::col_sum_exact(int j) const {
+  Time s = 0.0;
+  for (const int i : col_adj_[j]) s += m_.at(i, j);
+  return s;
+}
+
+}  // namespace reco

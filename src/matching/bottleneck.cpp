@@ -47,4 +47,42 @@ std::optional<BottleneckMatching> bottleneck_perfect_matching(const Matrix& m) {
   return out;
 }
 
+std::optional<BottleneckMatching> bottleneck_perfect_matching(const SupportIndex& idx) {
+  // Distinct nonzero values, ascending.  Walking the sorted support row by
+  // row visits nonzeros in the same row-major order as the dense scan, so
+  // the sorted/uniqued value ladder — and hence the binary search and the
+  // returned matching — is identical to the dense overload's.
+  std::vector<double> values;
+  values.reserve(idx.nnz());
+  for (int i = 0; i < idx.n(); ++i) {
+    for (const int j : idx.row_support(i)) values.push_back(idx.at(i, j));
+  }
+  if (values.empty()) return std::nullopt;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end(),
+                           [](double a, double b) { return approx_eq(a, b); }),
+               values.end());
+
+  if (!has_perfect_matching_at(idx, values.front())) return std::nullopt;
+
+  std::size_t lo = 0;
+  std::size_t hi = values.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (has_perfect_matching_at(idx, values[mid])) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  const double best = values[lo];
+  const MatchingResult r = threshold_matching(idx, best);
+  BottleneckMatching out;
+  out.bottleneck = best;
+  out.pairs.reserve(idx.n());
+  for (int i = 0; i < idx.n(); ++i) out.pairs.emplace_back(i, r.match_left[i]);
+  return out;
+}
+
 }  // namespace reco

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/matrix.hpp"
+#include "core/support_index.hpp"
 
 namespace reco {
 
@@ -25,5 +26,10 @@ struct BottleneckMatching {
 /// Returns nullopt when no perfect matching exists on the nonzero support
 /// (never happens for doubly stochastic matrices, by Birkhoff's theorem).
 std::optional<BottleneckMatching> bottleneck_perfect_matching(const Matrix& m);
+
+/// Sparse-path variant: value collection and every feasibility probe walk
+/// the support index, so one call costs O(nnz * sqrt(N) * log(nnz)) instead
+/// of O(N^2 * sqrt(N) * log(N^2)).  Used by the exact-bottleneck peel.
+std::optional<BottleneckMatching> bottleneck_perfect_matching(const SupportIndex& idx);
 
 }  // namespace reco

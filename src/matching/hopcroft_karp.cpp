@@ -78,12 +78,32 @@ std::vector<std::vector<int>> threshold_adjacency(const Matrix& m, double thresh
   return adj;
 }
 
+std::vector<std::vector<int>> threshold_adjacency(const SupportIndex& idx, double threshold) {
+  std::vector<std::vector<int>> adj(idx.n());
+  for (int i = 0; i < idx.n(); ++i) {
+    const auto& support = idx.row_support(i);
+    adj[i].reserve(support.size());
+    for (const int j : support) {
+      if (idx.at(i, j) >= threshold - kTimeEps) adj[i].push_back(j);
+    }
+  }
+  return adj;
+}
+
 MatchingResult threshold_matching(const Matrix& m, double threshold) {
   return hopcroft_karp(m.n(), m.n(), threshold_adjacency(m, threshold));
 }
 
+MatchingResult threshold_matching(const SupportIndex& idx, double threshold) {
+  return hopcroft_karp(idx.n(), idx.n(), threshold_adjacency(idx, threshold));
+}
+
 bool has_perfect_matching_at(const Matrix& m, double threshold) {
   return threshold_matching(m, threshold).size == m.n();
+}
+
+bool has_perfect_matching_at(const SupportIndex& idx, double threshold) {
+  return threshold_matching(idx, threshold).size == idx.n();
 }
 
 }  // namespace reco

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/matrix.hpp"
+#include "core/support_index.hpp"
 
 namespace reco {
 
@@ -32,10 +33,17 @@ MatchingResult hopcroft_karp(int n_left, int n_right, const std::vector<std::vec
 /// Adjacency of the support {(i,j) : m(i,j) >= threshold - eps}.
 std::vector<std::vector<int>> threshold_adjacency(const Matrix& m, double threshold);
 
+/// Same adjacency built from the sparse support index in O(nnz) instead of
+/// O(N^2); lists come out ascending (the index keeps its support sorted),
+/// so the matching found downstream is identical to the dense build's.
+std::vector<std::vector<int>> threshold_adjacency(const SupportIndex& idx, double threshold);
+
 /// Maximum matching restricted to entries >= threshold.
 MatchingResult threshold_matching(const Matrix& m, double threshold);
+MatchingResult threshold_matching(const SupportIndex& idx, double threshold);
 
 /// True iff a perfect matching exists using only entries >= threshold.
 bool has_perfect_matching_at(const Matrix& m, double threshold);
+bool has_perfect_matching_at(const SupportIndex& idx, double threshold);
 
 }  // namespace reco

@@ -2,13 +2,13 @@
 
 namespace reco {
 
-IncrementalMatcher::IncrementalMatcher(const Matrix& matrix, double threshold)
-    : matrix_(&matrix),
+IncrementalMatcher::IncrementalMatcher(const SupportIndex& index, double threshold)
+    : index_(&index),
       threshold_(threshold),
-      n_(matrix.n()),
-      match_left_(matrix.n(), -1),
-      match_right_(matrix.n(), -1),
-      visited_(matrix.n(), 0) {}
+      n_(index.n()),
+      match_left_(index.n(), -1),
+      match_right_(index.n(), -1),
+      visited_(index.n(), 0) {}
 
 void IncrementalMatcher::set_threshold(double threshold) {
   const bool raised = threshold > threshold_;
@@ -24,17 +24,14 @@ void IncrementalMatcher::set_threshold(double threshold) {
   }
 }
 
-void IncrementalMatcher::on_entry_changed(int i, int j) {
-  if (match_left_[i] == j && !edge_present(i, j)) {
-    match_left_[i] = -1;
-    match_right_[j] = -1;
-    --size_;
-  }
-}
-
 bool IncrementalMatcher::try_augment(int row) {
-  for (int j = 0; j < n_; ++j) {
-    if (visited_[j] == stamp_ || !edge_present(row, j)) continue;
+  // Support lists are sorted ascending, so the candidate order is the same
+  // as a dense j = 0..n-1 probe restricted to present edges — the matching
+  // found is identical to the dense matcher's, just without touching zeros.
+  const bool check_value = !support_only();
+  for (const int j : index_->row_support(row)) {
+    if (visited_[j] == stamp_) continue;
+    if (check_value && !edge_present(row, j)) continue;
     visited_[j] = stamp_;
     const int other = match_right_[j];
     if (other == -1 || try_augment(other)) {

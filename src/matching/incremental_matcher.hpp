@@ -5,26 +5,33 @@
 // between rounds only the few entries that hit zero leave the support.
 // Recomputing a matching from scratch each round would cost O(E sqrt(V))
 // per round; this class instead repairs the previous matching with one
-// Kuhn augmentation per broken edge, which is what makes dense 150x150
-// coflows tractable on a laptop.
+// Kuhn augmentation per broken edge.  Augmentation walks the SupportIndex
+// adjacency lists, so each probe costs O(row degree) instead of O(N) —
+// on the paper's sparse coflows (Table I: 86% sparse) that is what makes
+// peeling cost proportional to nnz rather than N^2.
 #pragma once
 
 #include <vector>
 
-#include "core/matrix.hpp"
-#include "matching/hopcroft_karp.hpp"
+#include "core/support_index.hpp"
 
 namespace reco {
 
 /// Maintains a maximum matching on the graph
-///   { (i, j) : matrix(i, j) >= threshold }
-/// where the matrix is owned by the caller and mutated between calls.
-/// The caller reports support changes via `remove_edge` / threshold changes
-/// via `set_threshold`, then calls `rematch()` to restore maximality.
+///   { (i, j) : index.at(i, j) >= threshold }
+/// where the index is owned by the caller and mutated between calls.
+/// The caller reports support changes via `on_entry_changed` / threshold
+/// changes via `set_threshold`, then calls `rematch()` to restore
+/// maximality.
+///
+/// Assumes a nonnegative matrix (demand semantics).  Then the index's
+/// support invariant (every stored nonzero is >= kTimeEps) means that at
+/// thresholds <= 2*kTimeEps the edge set is exactly the support, and the
+/// per-edge value probe is skipped entirely in the augmentation loop.
 class IncrementalMatcher {
  public:
-  /// Binds to `matrix` (must outlive the matcher) with an initial threshold.
-  IncrementalMatcher(const Matrix& matrix, double threshold);
+  /// Binds to `index` (must outlive the matcher) with an initial threshold.
+  IncrementalMatcher(const SupportIndex& index, double threshold);
 
   double threshold() const { return threshold_; }
 
@@ -33,9 +40,16 @@ class IncrementalMatcher {
   /// matched pair now below threshold is unmatched first.
   void set_threshold(double threshold);
 
-  /// Notify that matrix(i, j) changed; if the matched edge (i, j) fell
+  /// Notify that entry (i, j) changed; if the matched edge (i, j) fell
   /// below the threshold it is unmatched (support shrank at (i,j)).
-  void on_entry_changed(int i, int j);
+  /// Inline: called for every matched entry of every peeling round.
+  void on_entry_changed(int i, int j) {
+    if (match_left_[i] == j && !edge_present(i, j)) {
+      match_left_[i] = -1;
+      match_right_[j] = -1;
+      --size_;
+    }
+  }
 
   /// Restore maximality via augmenting paths from free rows.
   /// Returns the matching size.
@@ -52,11 +66,15 @@ class IncrementalMatcher {
 
  private:
   bool edge_present(int i, int j) const {
-    return matrix_->at(i, j) >= threshold_ - kTimeEps;
+    return index_->at(i, j) >= threshold_ - kTimeEps;
   }
+  /// True when the threshold is low enough that every support entry is an
+  /// edge (see the class comment): the augmentation loop can then skip the
+  /// dense value probe for each support neighbour.
+  bool support_only() const { return threshold_ <= 2 * kTimeEps; }
   bool try_augment(int row);
 
-  const Matrix* matrix_;
+  const SupportIndex* index_;
   double threshold_;
   int n_;
   std::vector<int> match_left_;

@@ -1,13 +1,17 @@
 #include "sched/bvn_baseline.hpp"
 
+#include <utility>
+
 #include "bvn/bvn.hpp"
 #include "bvn/stuffing.hpp"
+#include "core/support_index.hpp"
 
 namespace reco {
 
 CircuitSchedule bvn_baseline(const Matrix& demand) {
-  if (demand.nnz() == 0) return {};
-  return bvn_decompose(stuff(demand), BvnPolicy::kFirstMatching);
+  SupportIndex indexed(demand);
+  if (indexed.nnz() == 0) return {};
+  return bvn_decompose(stuff(std::move(indexed)), BvnPolicy::kFirstMatching);
 }
 
 }  // namespace reco

@@ -1,15 +1,21 @@
 #include "sched/reco_sin.hpp"
 
+#include <utility>
+
 #include "bvn/regularization.hpp"
 #include "bvn/stuffing.hpp"
+#include "core/support_index.hpp"
 
 namespace reco {
 
 CircuitSchedule reco_sin(const Matrix& demand, Time delta, BvnPolicy policy) {
-  if (demand.nnz() == 0) return {};
-  const Matrix regularized = regularize(demand, delta);
-  const Matrix stuffed = stuff_granular(regularized, delta);
-  return bvn_decompose(stuffed, policy);
+  // One O(N^2) ingest of the dense input; from here on every stage —
+  // regularize, stuff, BvN peel — works the support index, so the
+  // pipeline's cost tracks nnz(D) rather than N^2 per peeling round.
+  const SupportIndex indexed(demand);
+  if (indexed.nnz() == 0) return {};
+  SupportIndex stuffed = stuff_granular(regularize(indexed, delta), delta);
+  return bvn_decompose(std::move(stuffed), policy);
 }
 
 }  // namespace reco

@@ -1,9 +1,11 @@
 #include "sched/solstice.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "bvn/bvn.hpp"
 #include "bvn/stuffing.hpp"
+#include "core/support_index.hpp"
 #include "matching/incremental_matcher.hpp"
 
 namespace reco {
@@ -16,15 +18,15 @@ constexpr double kSliceFloor = 8 * kTimeEps;
 }  // namespace
 
 CircuitSchedule solstice(const Matrix& demand, Time /*delta*/) {
-  if (demand.nnz() == 0) return {};
-  Matrix m = stuff(demand);
+  SupportIndex indexed(demand);
+  if (indexed.nnz() == 0) return {};
+  SupportIndex m = stuff(std::move(indexed));
 
   CircuitSchedule schedule;
-  int nnz_left = m.nnz();
   double r = std::exp2(std::ceil(std::log2(m.max_entry())));
   IncrementalMatcher matcher(m, r);
 
-  while (nnz_left > 0 && r >= kSliceFloor) {
+  while (m.nnz() > 0 && r >= kSliceFloor) {
     matcher.rematch();
     if (!matcher.is_perfect()) {
       r /= 2.0;
@@ -37,9 +39,7 @@ CircuitSchedule solstice(const Matrix& demand, Time /*delta*/) {
     for (int i = 0; i < m.n(); ++i) {
       const int j = matcher.matched_col(i);
       a.circuits.push_back({i, j});
-      const double before = m.at(i, j);
-      m.at(i, j) = clamp_zero(before - r);
-      if (approx_zero(m.at(i, j)) && !approx_zero(before)) --nnz_left;
+      m.set(i, j, clamp_zero(m.at(i, j) - r));
       matcher.on_entry_changed(i, j);
     }
     schedule.assignments.push_back(std::move(a));
@@ -49,7 +49,7 @@ CircuitSchedule solstice(const Matrix& demand, Time /*delta*/) {
   // arbitrary real demands; cover the (tolerance-scale) residue so the
   // schedule provably satisfies the demand matrix.  The residue is below
   // kMinServiceQuantum per entry, so executors skip it entirely.
-  if (nnz_left > 0) {
+  if (m.nnz() > 0) {
     const CircuitSchedule tail = cover_decompose(std::move(m));
     for (const auto& a : tail.assignments) schedule.assignments.push_back(a);
   }

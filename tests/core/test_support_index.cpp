@@ -1,0 +1,166 @@
+#include "core/support_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+/// Check every index invariant against the dense matrix it wraps.
+void expect_index_consistent(const SupportIndex& idx, double sum_tol = 1e-9) {
+  const Matrix& m = idx.matrix();
+  const int n = idx.n();
+  int nnz = 0;
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> expected;
+    for (int j = 0; j < n; ++j) {
+      if (m.at(i, j) != 0.0) expected.push_back(j);
+    }
+    nnz += static_cast<int>(expected.size());
+    EXPECT_EQ(idx.row_support(i), expected) << "row " << i;
+    EXPECT_EQ(idx.row_nnz(i), static_cast<int>(expected.size()));
+    EXPECT_NEAR(idx.row_sum(i), m.row_sum(i), sum_tol) << "row " << i;
+    EXPECT_DOUBLE_EQ(idx.row_sum_exact(i), m.row_sum(i)) << "row " << i;
+  }
+  for (int j = 0; j < n; ++j) {
+    std::vector<int> expected;
+    for (int i = 0; i < n; ++i) {
+      if (m.at(i, j) != 0.0) expected.push_back(i);
+    }
+    EXPECT_EQ(idx.col_support(j), expected) << "col " << j;
+    EXPECT_EQ(idx.col_nnz(j), static_cast<int>(expected.size()));
+    EXPECT_NEAR(idx.col_sum(j), m.col_sum(j), sum_tol) << "col " << j;
+    EXPECT_DOUBLE_EQ(idx.col_sum_exact(j), m.col_sum(j)) << "col " << j;
+  }
+  EXPECT_EQ(idx.nnz(), nnz);
+  EXPECT_EQ(idx.nnz(), m.nnz());
+  EXPECT_NEAR(idx.rho(), m.rho(), sum_tol);
+  EXPECT_EQ(idx.tau(), m.tau());
+  EXPECT_DOUBLE_EQ(idx.max_entry(), m.max_entry());
+}
+
+TEST(SupportIndex, BuildsFromMatrix) {
+  const SupportIndex idx(Matrix::from_rows({{2, 0, 1}, {0, 0, 3}, {4, 5, 0}}));
+  EXPECT_EQ(idx.nnz(), 5);
+  EXPECT_EQ(idx.row_support(0), (std::vector<int>{0, 2}));
+  EXPECT_EQ(idx.row_support(1), (std::vector<int>{2}));
+  EXPECT_EQ(idx.col_support(2), (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(idx.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(idx.col_sum(0), 6.0);
+  EXPECT_DOUBLE_EQ(idx.rho(), 9.0);  // row 2 sums to 9
+  EXPECT_EQ(idx.tau(), 2);
+  EXPECT_DOUBLE_EQ(idx.max_entry(), 5.0);
+  expect_index_consistent(idx);
+}
+
+TEST(SupportIndex, ZerosSkipsIngestScan) {
+  SupportIndex idx = SupportIndex::zeros(4);
+  EXPECT_EQ(idx.n(), 4);
+  EXPECT_EQ(idx.nnz(), 0);
+  EXPECT_DOUBLE_EQ(idx.rho(), 0.0);
+  idx.set(1, 2, 3.5);
+  EXPECT_EQ(idx.nnz(), 1);
+  EXPECT_DOUBLE_EQ(idx.at(1, 2), 3.5);
+  expect_index_consistent(idx);
+}
+
+TEST(SupportIndex, SetMaintainsSupportTransitions) {
+  SupportIndex idx = SupportIndex::zeros(3);
+  idx.set(0, 0, 1.0);   // enter
+  idx.set(0, 0, 2.0);   // stay (value change only)
+  EXPECT_EQ(idx.nnz(), 1);
+  EXPECT_DOUBLE_EQ(idx.row_sum(0), 2.0);
+  idx.set(0, 0, 0.0);   // leave
+  EXPECT_EQ(idx.nnz(), 0);
+  EXPECT_TRUE(idx.row_support(0).empty());
+  EXPECT_TRUE(idx.col_support(0).empty());
+  expect_index_consistent(idx);
+}
+
+TEST(SupportIndex, SetSnapsSubToleranceToExactZero) {
+  SupportIndex idx = SupportIndex::zeros(2);
+  idx.set(0, 1, 0.5 * kTimeEps);  // below tolerance: must not enter support
+  EXPECT_EQ(idx.nnz(), 0);
+  EXPECT_EQ(idx.at(0, 1), 0.0);
+  idx.set(0, 1, 1.0);
+  idx.set(0, 1, 0.5 * kTimeEps);  // shrink below tolerance: must leave
+  EXPECT_EQ(idx.nnz(), 0);
+  EXPECT_EQ(idx.at(0, 1), 0.0);
+  expect_index_consistent(idx);
+}
+
+TEST(SupportIndex, IngestSnapsCrumbs) {
+  Matrix m(2);
+  m.at(0, 0) = 5.0;
+  m.at(1, 1) = 0.25 * kTimeEps;  // ingest crumb
+  const SupportIndex idx(std::move(m));
+  EXPECT_EQ(idx.nnz(), 1);
+  EXPECT_EQ(idx.at(1, 1), 0.0);
+}
+
+TEST(SupportIndex, ReleaseMovesMatrixOut) {
+  SupportIndex idx(Matrix::from_rows({{1, 0}, {0, 2}}));
+  const Matrix m = idx.release();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_TRUE(idx.empty());
+}
+
+TEST(SupportIndex, AddAccumulates) {
+  SupportIndex idx = SupportIndex::zeros(2);
+  idx.add(1, 0, 2.0);
+  idx.add(1, 0, 3.0);
+  EXPECT_DOUBLE_EQ(idx.at(1, 0), 5.0);
+  idx.add(1, 0, -5.0);
+  EXPECT_EQ(idx.nnz(), 0);
+  expect_index_consistent(idx);
+}
+
+TEST(SupportIndexProperty, LongMutationSequencesStayConsistent) {
+  // The satellite requirement: incremental sums / tau / rho must match
+  // from-scratch recomputation after long mutation sequences.
+  Rng rng(20190707);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 4 + static_cast<int>(rng.uniform_int(13));  // 4..16
+    SupportIndex idx(testing::random_demand(rng, n, rng.uniform(0.05, 1.0), 0.5, 10.0));
+    for (int step = 0; step < 500; ++step) {
+      const int i = static_cast<int>(rng.uniform_int(n));
+      const int j = static_cast<int>(rng.uniform_int(n));
+      switch (rng.uniform_int(4)) {
+        case 0: idx.set(i, j, rng.uniform(0.5, 10.0)); break;           // write
+        case 1: idx.set(i, j, 0.0); break;                              // clear
+        case 2: idx.add(i, j, rng.uniform(0.0, 2.0)); break;            // grow
+        default: idx.set(i, j, clamp_zero(idx.at(i, j) - 0.75)); break; // peel-style shrink
+      }
+    }
+    expect_index_consistent(idx, 1e-7);
+  }
+}
+
+TEST(SupportIndexProperty, PeelStyleDrainStaysConsistent) {
+  // Repeatedly subtract each row's minimum from every entry of the row —
+  // the mutation pattern of BvN peeling (the min zeroes, the rest shrink)
+  // — until the matrix drains, checking index consistency as it goes.
+  Rng rng(42);
+  SupportIndex idx(testing::random_demand(rng, 8, 0.4, 1.0, 4.0));
+  int round = 0;
+  while (idx.nnz() > 0) {
+    for (int i = 0; i < idx.n(); ++i) {
+      if (idx.row_nnz(i) == 0) continue;
+      const std::vector<int> support = idx.row_support(i);  // snapshot: sets erase
+      double coefficient = idx.at(i, support.front());
+      for (const int j : support) coefficient = std::min(coefficient, idx.at(i, j));
+      for (const int j : support) idx.set(i, j, clamp_zero(idx.at(i, j) - coefficient));
+    }
+    if (++round % 3 == 0) expect_index_consistent(idx, 1e-7);
+    ASSERT_LT(round, 1000) << "drain did not terminate";
+  }
+  expect_index_consistent(idx);
+}
+
+}  // namespace
+}  // namespace reco

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/support_index.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "testing_util.hpp"
 #include "trace/rng.hpp"
@@ -10,21 +11,21 @@ namespace reco {
 namespace {
 
 TEST(IncrementalMatcher, InitialRematchFindsMaximum) {
-  const Matrix m = Matrix::from_rows({{5, 1}, {2, 8}});
+  const SupportIndex m(Matrix::from_rows({{5, 1}, {2, 8}}));
   IncrementalMatcher matcher(m, 0.5);
   EXPECT_EQ(matcher.rematch(), 2);
   EXPECT_TRUE(matcher.is_perfect());
 }
 
 TEST(IncrementalMatcher, ThresholdExcludesSmallEntries) {
-  const Matrix m = Matrix::from_rows({{5, 1}, {2, 8}});
+  const SupportIndex m(Matrix::from_rows({{5, 1}, {2, 8}}));
   IncrementalMatcher matcher(m, 6.0);
   EXPECT_EQ(matcher.rematch(), 1);  // only the 8 qualifies
   EXPECT_FALSE(matcher.is_perfect());
 }
 
 TEST(IncrementalMatcher, LoweringThresholdGrowsMatching) {
-  const Matrix m = Matrix::from_rows({{5, 1}, {2, 8}});
+  const SupportIndex m(Matrix::from_rows({{5, 1}, {2, 8}}));
   IncrementalMatcher matcher(m, 6.0);
   matcher.rematch();
   matcher.set_threshold(2.0);
@@ -32,7 +33,7 @@ TEST(IncrementalMatcher, LoweringThresholdGrowsMatching) {
 }
 
 TEST(IncrementalMatcher, RaisingThresholdDropsInvalidEdges) {
-  const Matrix m = Matrix::from_rows({{5, 1}, {2, 8}});
+  const SupportIndex m(Matrix::from_rows({{5, 1}, {2, 8}}));
   IncrementalMatcher matcher(m, 0.5);
   matcher.rematch();
   matcher.set_threshold(6.0);
@@ -43,11 +44,11 @@ TEST(IncrementalMatcher, RaisingThresholdDropsInvalidEdges) {
 }
 
 TEST(IncrementalMatcher, EntryChangeUnmatchesZeroedEdge) {
-  Matrix m = Matrix::from_rows({{5, 0}, {0, 8}});
+  SupportIndex m(Matrix::from_rows({{5, 0}, {0, 8}}));
   IncrementalMatcher matcher(m, 0.5);
   matcher.rematch();
   ASSERT_TRUE(matcher.is_perfect());
-  m.at(0, 0) = 0.0;
+  m.set(0, 0, 0.0);
   matcher.on_entry_changed(0, 0);
   EXPECT_EQ(matcher.size(), 1);
   // No alternative for row 0 now.
@@ -55,11 +56,11 @@ TEST(IncrementalMatcher, EntryChangeUnmatchesZeroedEdge) {
 }
 
 TEST(IncrementalMatcher, RepairViaAugmentingPath) {
-  Matrix m = Matrix::from_rows({{5, 3}, {4, 0}});
+  SupportIndex m(Matrix::from_rows({{5, 3}, {4, 0}}));
   IncrementalMatcher matcher(m, 0.5);
   ASSERT_EQ(matcher.rematch(), 2);  // must be (0,1),(1,0)
   // Kill (1,0): row 1 has no other edge -> matching drops to 1 permanently.
-  m.at(1, 0) = 0.0;
+  m.set(1, 0, 0.0);
   matcher.on_entry_changed(1, 0);
   EXPECT_EQ(matcher.rematch(), 1);
   // Row 0 should still be matched to something present.
@@ -67,7 +68,7 @@ TEST(IncrementalMatcher, RepairViaAugmentingPath) {
 }
 
 TEST(IncrementalMatcher, PairsSnapshot) {
-  const Matrix m = Matrix::from_rows({{1, 0}, {0, 1}});
+  const SupportIndex m(Matrix::from_rows({{1, 0}, {0, 1}}));
   IncrementalMatcher matcher(m, 0.5);
   matcher.rematch();
   const auto pairs = matcher.pairs();
@@ -79,19 +80,32 @@ TEST(IncrementalMatcher, PairsSnapshot) {
 TEST(IncrementalMatcherProperty, AgreesWithHopcroftKarpUnderRandomDeletions) {
   Rng rng(23);
   for (int trial = 0; trial < 30; ++trial) {
-    Matrix m = testing::random_demand(rng, 8, 0.6, 1.0, 10.0);
+    SupportIndex m(testing::random_demand(rng, 8, 0.6, 1.0, 10.0));
     IncrementalMatcher matcher(m, 0.5);
     matcher.rematch();
     for (int step = 0; step < 12; ++step) {
-      // Delete a random nonzero entry.
+      // Delete a random entry (nonzero or not).
       const int i = rng.uniform_int(8);
       const int j = rng.uniform_int(8);
-      m.at(i, j) = 0.0;
+      m.set(i, j, 0.0);
       matcher.on_entry_changed(i, j);
       matcher.rematch();
       EXPECT_EQ(matcher.size(), threshold_matching(m, 0.5).size)
           << "trial " << trial << " step " << step;
     }
+  }
+}
+
+TEST(IncrementalMatcherProperty, SupportIterationMatchesDenseMatching) {
+  // The sparse matcher probes only support neighbours; it must still find
+  // a maximum matching of the same size the dense adjacency build does.
+  Rng rng(97);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix dense = testing::random_demand(rng, 10, 0.3, 1.0, 10.0);
+    const SupportIndex idx(dense);
+    IncrementalMatcher sparse(idx, 0.5);
+    sparse.rematch();
+    EXPECT_EQ(sparse.size(), threshold_matching(dense, 0.5).size) << "trial " << trial;
   }
 }
 
