@@ -27,6 +27,7 @@
 #include "core/support_index.hpp"
 #include "matching/bottleneck.hpp"
 #include "matching/hopcroft_karp.hpp"
+#include "obs/obs.hpp"
 #include "ocs/all_stop_executor.hpp"
 #include "sched/reco_sin.hpp"
 #include "sched/solstice.hpp"
@@ -170,6 +171,41 @@ void BM_BvnPeelSparseTraceLike(benchmark::State& state) {
 }
 BENCHMARK(BM_BvnPeelSparseTraceLike)->Arg(64)->Arg(128);
 
+// ---- telemetry overhead on the peel kernel -------------------------------
+//
+// The disabled/enabled twin pins the telemetry design budget: with
+// collection off the peel must run within 2% of an uninstrumented build
+// (one relaxed load + branch per round).  write_json() below turns the
+// pair into a "telemetry_overhead_pct" baseline entry.
+
+void BM_BvnPeelSparseTelemetryOff(benchmark::State& state) {
+  const Matrix m = stuff(swept_input(state, 4));
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bvn_decompose(SupportIndex(m), BvnPolicy::kFirstMatching).num_assignments());
+  }
+  report_shape(state, m);
+}
+BENCHMARK(BM_BvnPeelSparseTelemetryOff)->Args({128, 200});
+
+void BM_BvnPeelSparseTelemetryOn(benchmark::State& state) {
+  const Matrix m = stuff(swept_input(state, 4));
+  const bool was_enabled = obs::enabled();
+  const std::size_t old_capacity = obs::tracer().capacity();
+  obs::set_enabled(true);
+  obs::tracer().set_capacity(4096);  // bound the span buffer inside the loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bvn_decompose(SupportIndex(m), BvnPolicy::kFirstMatching).num_assignments());
+  }
+  obs::set_enabled(was_enabled);
+  obs::tracer().set_capacity(old_capacity);
+  if (!was_enabled) obs::reset();  // keep user-requested telemetry, drop ours
+  report_shape(state, m);
+}
+BENCHMARK(BM_BvnPeelSparseTelemetryOn)->Args({128, 200});
+
 // ---- stuffing ------------------------------------------------------------
 
 void BM_StuffDense(benchmark::State& state) {
@@ -269,6 +305,15 @@ class BaselineReporter : public benchmark::ConsoleReporter {
   }
 
   bool write_json(const std::string& path) const {
+    // Telemetry-enabled vs -disabled delta on the peel kernel (the <2%
+    // disabled-overhead acceptance budget lives in the Off twin).
+    double peel_off = 0.0;
+    double peel_on = 0.0;
+    for (const Row& r : rows_) {
+      if (r.name.rfind("BM_BvnPeelSparseTelemetryOff", 0) == 0) peel_off = r.ns_per_op;
+      if (r.name.rfind("BM_BvnPeelSparseTelemetryOn", 0) == 0) peel_on = r.ns_per_op;
+    }
+    const bool have_overhead = peel_off > 0.0 && peel_on > 0.0;
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
     std::fprintf(f, "{\n");
@@ -276,7 +321,11 @@ class BaselineReporter : public benchmark::ConsoleReporter {
       const Row& r = rows_[k];
       std::fprintf(f, "  \"%s\": {\"ns_per_op\": %.1f, \"nnz\": %.0f, \"N\": %.0f}%s\n",
                    r.name.c_str(), r.ns_per_op, r.nnz, r.n,
-                   k + 1 < rows_.size() ? "," : "");
+                   (k + 1 < rows_.size() || have_overhead) ? "," : "");
+    }
+    if (have_overhead) {
+      std::fprintf(f, "  \"telemetry_overhead_pct\": %.2f\n",
+                   100.0 * (peel_on - peel_off) / peel_off);
     }
     std::fprintf(f, "}\n");
     std::fclose(f);

@@ -8,6 +8,8 @@
 // in minutes on one laptop core; EXPERIMENTS.md records both scales.
 // --threads (or the RECO_THREADS env var) sets the parallel runtime's
 // fan-out; results are bit-identical at every thread count.
+// --trace-out=F / --metrics-out=F enable telemetry and flush it at exit
+// (google-benchmark owns main(), so the writers run from an atexit hook).
 #pragma once
 
 #include <cstdio>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "core/coflow.hpp"
+#include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 #include "trace/generator.hpp"
 
@@ -30,7 +33,9 @@ struct BenchOptions {
   bool full = false;
   Time delta = 100e-6;
   double c_threshold = 4.0;
-  std::string csv_dir;  ///< when set, benches export raw per-sample CSVs here
+  std::string csv_dir;      ///< when set, benches export raw per-sample CSVs here
+  std::string trace_out;    ///< when set, telemetry is on and a trace JSON is flushed at exit
+  std::string metrics_out;  ///< when set, telemetry is on and a metrics CSV is flushed at exit
 };
 
 inline BenchOptions parse_args(int argc, char** argv) {
@@ -52,18 +57,28 @@ inline BenchOptions parse_args(int argc, char** argv) {
       o.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = val("--csv=")) {
       o.csv_dir = v;
+    } else if (const char* v = val("--trace-out=")) {
+      o.trace_out = v;
+    } else if (const char* v = val("--metrics-out=")) {
+      o.metrics_out = v;
     } else if (const char* v = val("--threads=")) {
       runtime::set_thread_count(std::atoi(v));
     } else if (arg == "--full") {
       o.full = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "options: --coflows=N --ports=N --samples=N --seed=S --threads=N --full --csv=DIR\n");
+          "options: --coflows=N --ports=N --samples=N --seed=S --threads=N --full --csv=DIR\n"
+          "         --trace-out=FILE --metrics-out=FILE (enable telemetry, flush at exit)\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       std::exit(2);
     }
+  }
+  obs::init_from_env();
+  if (!o.trace_out.empty() || !o.metrics_out.empty()) {
+    obs::set_enabled(true);
+    obs::flush_at_exit(o.trace_out, o.metrics_out);
   }
   return o;
 }

@@ -14,6 +14,12 @@
 // Traces come from `trace_tool gen` (reco-trace format) or, with --fb, any
 // file in the public Coflow-Benchmark format (the paper's FB2010 trace).
 // --jitter=F / --retries=P inject reconfiguration faults (single mode).
+//
+// Telemetry: --trace-out=FILE writes a Chrome trace-event JSON (load in
+// Perfetto / chrome://tracing) and --metrics-out=FILE a metrics CSV;
+// either flag (or RECO_TRACE=1) turns collection on.  See
+// docs/OBSERVABILITY.md.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +29,7 @@
 #include <vector>
 
 #include "core/lower_bound.hpp"
+#include "obs/obs.hpp"
 #include "ocs/all_stop_executor.hpp"
 #include "runtime/thread_pool.hpp"
 #include "ocs/not_all_stop_executor.hpp"
@@ -84,7 +91,9 @@ int usage() {
                "               [--model=all-stop|not-all-stop] [--gantt]\n"
                "  reco_sim_cli multi  <trace> [--algo=A] [--delta=S] [--c=C] [--csv=F]\n"
                "  reco_sim_cli online <trace> [--policy=epoch|fifo] [--delta=S] [--c=C]\n"
-               "  (all modes: --threads=N sizes the parallel runtime; 1 = sequential)\n");
+               "  (all modes: --threads=N sizes the parallel runtime; 1 = sequential;\n"
+               "   --trace-out=F writes Perfetto-loadable trace JSON, --metrics-out=F\n"
+               "   a metrics CSV; either flag or RECO_TRACE=1 enables telemetry)\n");
   return 2;
 }
 
@@ -179,6 +188,26 @@ int run_multi(const Args& args, const std::vector<Coflow>& coflows) {
               algo.c_str(), coflows.size(), r.total_weighted_cct, mean(cct),
               percentile(cct, 95), r.reconfigurations);
 
+  if (obs::enabled()) {
+    // Per-coflow service window (first slice start -> completion) on the
+    // simulated-time timeline, one Perfetto track per coflow.
+    std::vector<Time> first_start(coflows.size(), -1.0);
+    std::vector<Time> last_end(coflows.size(), 0.0);
+    for (const FlowSlice& s : r.schedule) {
+      if (s.coflow < 0 || s.coflow >= static_cast<int>(coflows.size())) continue;
+      if (first_start[s.coflow] < 0.0 || s.start < first_start[s.coflow]) {
+        first_start[s.coflow] = s.start;
+      }
+      last_end[s.coflow] = std::max(last_end[s.coflow], s.end);
+    }
+    for (std::size_t k = 0; k < coflows.size(); ++k) {
+      if (first_start[k] < 0.0) continue;
+      obs::tracer().name_sim_track(static_cast<int>(k), "coflow " + std::to_string(k));
+      obs::tracer().sim_span("coflow " + std::to_string(k), "sim.coflow", first_start[k],
+                             last_end[k], static_cast<int>(k), {{"cct", r.cct[k]}});
+    }
+  }
+
   if (args.has("csv")) {
     std::ofstream out(args.get("csv", ""));
     if (!out) {
@@ -215,6 +244,10 @@ int main(int argc, char** argv) {
   if (args.has("threads")) {
     reco::runtime::set_thread_count(static_cast<int>(args.get_double("threads", 0)));
   }
+  reco::obs::init_from_env();
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!trace_out.empty() || !metrics_out.empty()) reco::obs::set_enabled(true);
   try {
     int ports = 0;
     const std::vector<Coflow> coflows =
@@ -223,12 +256,29 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "empty trace\n");
       return 1;
     }
-    if (args.command == "single") return run_single(args, coflows);
-    if (args.command == "multi") return run_multi(args, coflows);
-    if (args.command == "online") return run_online(args, coflows);
+    int rc;
+    if (args.command == "single") {
+      rc = run_single(args, coflows);
+    } else if (args.command == "multi") {
+      rc = run_multi(args, coflows);
+    } else if (args.command == "online") {
+      rc = run_online(args, coflows);
+    } else {
+      return usage();
+    }
+    if (!trace_out.empty()) {
+      reco::obs::save_trace_json(trace_out);
+      std::printf("wrote %zu trace events to %s (%llu dropped)\n", reco::obs::tracer().size(),
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(reco::obs::tracer().dropped()));
+    }
+    if (!metrics_out.empty()) {
+      reco::obs::save_metrics_csv(metrics_out);
+      std::printf("wrote metrics to %s\n", metrics_out.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
 }

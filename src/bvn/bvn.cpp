@@ -8,10 +8,46 @@
 #include "matching/bottleneck.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "matching/incremental_matcher.hpp"
+#include "obs/obs.hpp"
 
 namespace reco {
 
 namespace {
+
+/// Per-round peel telemetry, bound once per process (stable handles; see
+/// obs/metrics.hpp).  Every record is gated on obs::enabled() at the call
+/// site, so the disabled cost is one branch per peel round.
+struct PeelMetrics {
+  obs::Counter& rounds = obs::metrics().counter("bvn.rounds");
+  obs::Counter& permutations = obs::metrics().counter("bvn.permutations");
+  obs::Counter& halvings = obs::metrics().counter("bvn.threshold_halvings");
+  obs::Counter& coeff_total = obs::metrics().counter("bvn.coefficient_total");
+  obs::Histogram& round_nnz =
+      obs::metrics().histogram("bvn.round_nnz", obs::pow2_buckets(65536.0));
+  obs::Histogram& coefficient =
+      obs::metrics().histogram("bvn.coefficient", obs::pow2_buckets(1024.0));
+  obs::Histogram& matching_size =
+      obs::metrics().histogram("bvn.matching_size", obs::pow2_buckets(1024.0));
+
+  static PeelMetrics& get() {
+    static PeelMetrics m;
+    return m;
+  }
+
+  void record_round(int nnz_before, const CircuitAssignment& a,
+                    obs::Tracer::Clock::time_point round_start) {
+    rounds.inc();
+    permutations.inc();
+    coeff_total.inc(a.duration);
+    round_nnz.observe(static_cast<double>(nnz_before));
+    coefficient.observe(a.duration);
+    matching_size.observe(static_cast<double>(a.circuits.size()));
+    obs::tracer().complete("bvn.round", "bvn", round_start, obs::Tracer::Clock::now(),
+                           {{"nnz", static_cast<double>(nnz_before)},
+                            {"coefficient", a.duration},
+                            {"matching_size", static_cast<double>(a.circuits.size())}});
+  }
+};
 
 /// Support-only threshold: any positive entry counts as an edge.
 constexpr double kSupportThreshold = 2 * kTimeEps;
@@ -44,12 +80,23 @@ CircuitAssignment extract_and_subtract(SupportIndex& m, IncrementalMatcher& matc
 
 CircuitSchedule peel(SupportIndex m, double initial_threshold, bool halve_on_failure) {
   CircuitSchedule schedule;
+  obs::ScopedSpan span("bvn.peel", "bvn");
   IncrementalMatcher matcher(m, initial_threshold);
   while (m.nnz() > 0) {
+    const bool obs_on = obs::enabled();
+    const int nnz_before = m.nnz();
+    obs::Tracer::Clock::time_point round_start;
+    if (obs_on) round_start = obs::Tracer::Clock::now();
     matcher.rematch();
     if (matcher.is_perfect()) {
       schedule.assignments.push_back(extract_and_subtract(m, matcher));
+      if (obs_on) {
+        PeelMetrics::get().record_round(nnz_before, schedule.assignments.back(), round_start);
+      }
       continue;
+    }
+    if (obs_on && halve_on_failure && matcher.threshold() > kSupportThreshold) {
+      PeelMetrics::get().halvings.inc();
     }
     if (!halve_on_failure || matcher.threshold() <= kSupportThreshold) {
       // Exact Birkhoff structure guarantees a perfect matching on the
@@ -68,7 +115,12 @@ CircuitSchedule peel(SupportIndex m, double initial_threshold, bool halve_on_fai
 
 CircuitSchedule peel_exact_bottleneck(SupportIndex m) {
   CircuitSchedule schedule;
+  obs::ScopedSpan span("bvn.peel_exact_bottleneck", "bvn");
   while (m.nnz() > 0) {
+    const bool obs_on = obs::enabled();
+    const int nnz_before = m.nnz();
+    obs::Tracer::Clock::time_point round_start;
+    if (obs_on) round_start = obs::Tracer::Clock::now();
     const auto match = bottleneck_perfect_matching(m);
     if (!match) {
       // Same round-off escape hatch as peel(): see the comment there.
@@ -84,6 +136,9 @@ CircuitSchedule peel_exact_bottleneck(SupportIndex m) {
       m.set(i, j, clamp_zero(m.at(i, j) - match->bottleneck));
     }
     schedule.assignments.push_back(std::move(a));
+    if (obs_on) {
+      PeelMetrics::get().record_round(nnz_before, schedule.assignments.back(), round_start);
+    }
   }
   return schedule;
 }
@@ -107,6 +162,7 @@ bool is_doubly_stochastic(const SupportIndex& m, double eps) {
 
 CircuitSchedule cover_decompose(SupportIndex m) {
   CircuitSchedule schedule;
+  obs::ScopedSpan span("bvn.cover_decompose", "bvn");
   while (m.nnz() > 0) {
     const MatchingResult match = threshold_matching(m, kSupportThreshold);
     CircuitAssignment a;
@@ -128,6 +184,9 @@ CircuitSchedule cover_decompose(Matrix m) {
 }
 
 CircuitSchedule bvn_decompose(SupportIndex m, BvnPolicy policy) {
+  obs::ScopedSpan span("bvn.decompose", "bvn");
+  span.arg("n", static_cast<double>(m.n()));
+  span.arg("nnz", static_cast<double>(m.nnz()));
   if (!is_doubly_stochastic(m, kTimeEps * std::max(1, m.n()))) {
     throw std::invalid_argument("bvn_decompose: matrix is not doubly stochastic");
   }

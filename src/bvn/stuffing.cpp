@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace reco {
 
 namespace {
@@ -37,6 +39,8 @@ class LiveColumns {
 
 SupportIndex stuff(SupportIndex demand, Time target) {
   const int n = demand.n();
+  obs::ScopedSpan span("bvn.stuff", "bvn");
+  span.arg("n", static_cast<double>(n));
   SupportIndex out = std::move(demand);
   // Scan-exact sums (ordered support re-scan == dense scan bit-for-bit);
   // the incremental sums may carry round-off from the caller's mutations.
@@ -63,6 +67,11 @@ SupportIndex stuff(SupportIndex demand, Time target) {
   // zero leave the ladder, so the sweep touches O(fill-ins) cells, not n
   // per row; columns skipped by the dense loop contribute add == 0 there,
   // so skipping them structurally changes nothing.
+  // Local tallies published once at the end (no atomics in the loops).
+  Time padding_added = 0.0;
+  std::uint64_t fill_entries = 0;
+  for (int i = 0; i < n; ++i) padding_added += row_slack[i];
+
   LiveColumns live(n);
   for (int j = 0; j < n; ++j) {
     if (approx_zero(col_slack[j])) live.kill(j);
@@ -72,6 +81,7 @@ SupportIndex stuff(SupportIndex demand, Time target) {
     for (int j = live.find(0); j < n && !approx_zero(row_slack[i]); j = live.find(j + 1)) {
       const Time add = std::min(row_slack[i], col_slack[j]);
       out.add(i, j, add);
+      ++fill_entries;
       row_slack[i] = clamp_zero(row_slack[i] - add);
       col_slack[j] = clamp_zero(col_slack[j] - add);
       if (approx_zero(col_slack[j])) live.kill(j);
@@ -87,6 +97,7 @@ SupportIndex stuff(SupportIndex demand, Time target) {
   // carry demand so sparsity-sensitive consumers see no new support.
   std::vector<Time> col_need(n);
   bool any_col_need = false;
+  Time repaired_slack = 0.0;
   for (int j = 0; j < n; ++j) {
     col_need[j] = goal - out.col_sum_exact(j);
     any_col_need = any_col_need || col_need[j] > 0.0;
@@ -94,6 +105,7 @@ SupportIndex stuff(SupportIndex demand, Time target) {
   for (int i = 0; i < n; ++i) {
     Time need = goal - out.row_sum_exact(i);
     if (need <= 0.0) continue;
+    repaired_slack += need;
     for (int pass = 0; pass < 2 && need > 0.0 && any_col_need; ++pass) {
       if (pass == 0) {
         // Nonzero cells first: walk a snapshot of the row's support (the
@@ -121,6 +133,15 @@ SupportIndex stuff(SupportIndex demand, Time target) {
     // Totals match by construction, so any remainder is pure round-off
     // (far below kTimeEps); park it on the diagonal.
     if (need > 0.0) out.add(i, i, need);
+  }
+  if (obs::enabled()) {
+    obs::metrics().counter("stuff.calls").inc();
+    obs::metrics().counter("stuff.padding_total").inc(padding_added);
+    obs::metrics().counter("stuff.fill_entries").inc(static_cast<double>(fill_entries));
+    obs::metrics().counter("stuff.repaired_slack").inc(repaired_slack);
+    span.arg("padding", padding_added);
+    span.arg("fill_entries", static_cast<double>(fill_entries));
+    span.arg("repaired_slack", repaired_slack);
   }
   return out;
 }

@@ -1,5 +1,7 @@
 #include "matching/incremental_matcher.hpp"
 
+#include "obs/obs.hpp"
+
 namespace reco {
 
 IncrementalMatcher::IncrementalMatcher(const SupportIndex& index, double threshold)
@@ -37,6 +39,7 @@ bool IncrementalMatcher::try_augment(int row) {
     if (other == -1 || try_augment(other)) {
       match_left_[row] = j;
       match_right_[j] = row;
+      ++path_edges_cur_;
       return true;
     }
   }
@@ -44,10 +47,21 @@ bool IncrementalMatcher::try_augment(int row) {
 }
 
 int IncrementalMatcher::rematch() {
+  const bool obs_on = obs::enabled();
   for (int i = 0; i < n_; ++i) {
     if (match_left_[i] != -1) continue;
     ++stamp_;
-    if (try_augment(i)) ++size_;
+    path_edges_cur_ = 0;
+    if (try_augment(i)) {
+      ++size_;
+      ++stats_.augmentations;
+      stats_.path_edges += path_edges_cur_;
+      if (obs_on) {
+        static obs::Histogram& path_len =
+            obs::metrics().histogram("matching.aug_path_edges", obs::pow2_buckets(256.0));
+        path_len.observe(static_cast<double>(path_edges_cur_));
+      }
+    }
   }
   return size_;
 }

@@ -11,6 +11,7 @@
 // peeling cost proportional to nnz rather than N^2.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/support_index.hpp"
@@ -64,6 +65,16 @@ class IncrementalMatcher {
   /// Snapshot as (row -> col) pairs.
   std::vector<std::pair<int, int>> pairs() const;
 
+  /// Cumulative repair-work accounting since construction: number of
+  /// successful augmentations and total edges on their augmenting paths
+  /// (the quantity BvN-peel telemetry reports as "repair cost per round").
+  /// Plain counters bumped only on the success unwind — too cheap to gate.
+  struct AugmentStats {
+    std::uint64_t augmentations = 0;
+    std::uint64_t path_edges = 0;
+  };
+  const AugmentStats& augment_stats() const { return stats_; }
+
  private:
   bool edge_present(int i, int j) const {
     return index_->at(i, j) >= threshold_ - kTimeEps;
@@ -82,6 +93,8 @@ class IncrementalMatcher {
   std::vector<int> visited_;  // per-augmentation stamps (column-indexed)
   int stamp_ = 0;
   int size_ = 0;
+  AugmentStats stats_;
+  std::uint64_t path_edges_cur_ = 0;  // edges on the in-flight augmenting path
 };
 
 }  // namespace reco

@@ -1,0 +1,162 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/csv.hpp"
+
+namespace reco::obs {
+
+namespace {
+
+/// Lock-free monotone update for min/max slots.
+void atomic_min(std::atomic<double>& slot, double x) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (x < cur && !slot.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+void atomic_max(std::atomic<double>& slot, double x) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (x > cur && !slot.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+std::string fmt_value(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: bounds must be non-empty");
+  if (std::adjacent_find(bounds_.begin(), bounds_.end(),
+                         [](double a, double b) { return a >= b; }) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+  }
+  storage_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  buckets_ = storage_.get();
+  reset();
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const std::size_t k = static_cast<std::size_t>(it - bounds_.begin());  // == size() -> overflow
+  buckets_[k].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (std::size_t k = 0; k <= bounds_.size(); ++k) {
+    buckets_[k].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+std::vector<double> pow2_buckets(double hi) {
+  std::vector<double> bounds;
+  for (double b = 1.0; b < hi; b *= 2.0) bounds.push_back(b);
+  bounds.push_back(hi);
+  return bounds;
+}
+
+MetricsRegistry::Slot& MetricsRegistry::find_or_create(const std::string& name, Kind kind) {
+  // Caller holds mu_.
+  const auto it = slots_.find(name);
+  if (it != slots_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error("MetricsRegistry: '" + name + "' already registered as another kind");
+    }
+    return it->second;
+  }
+  Slot slot;
+  slot.kind = kind;
+  return slots_.emplace(name, std::move(slot)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = find_or_create(name, Kind::kCounter);
+  if (!slot.counter) slot.counter = std::make_unique<Counter>();
+  return *slot.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = find_or_create(name, Kind::kGauge);
+  if (!slot.gauge) slot.gauge = std::make_unique<Gauge>();
+  return *slot.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = find_or_create(name, Kind::kHistogram);
+  if (!slot.histogram) slot.histogram = std::make_unique<Histogram>(bounds);
+  return *slot.histogram;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, slot] : slots_) {
+    if (slot.counter) slot.counter->reset();
+    if (slot.gauge) slot.gauge->reset();
+    if (slot.histogram) slot.histogram->reset();
+  }
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  for (const auto& [name, slot] : slots_) {
+    switch (slot.kind) {
+      case Kind::kCounter:
+        out.push_back({name, "counter", "value", slot.counter->value()});
+        break;
+      case Kind::kGauge:
+        out.push_back({name, "gauge", "value", slot.gauge->value()});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *slot.histogram;
+        out.push_back({name, "histogram", "count", static_cast<double>(h.count())});
+        out.push_back({name, "histogram", "sum", h.sum()});
+        out.push_back({name, "histogram", "min", h.min()});
+        out.push_back({name, "histogram", "max", h.max()});
+        for (std::size_t k = 0; k < h.bounds().size(); ++k) {
+          out.push_back({name, "histogram", "le_" + fmt_value(h.bounds()[k]),
+                         static_cast<double>(h.bucket_count(k))});
+        }
+        out.push_back({name, "histogram", "overflow", static_cast<double>(h.overflow())});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  write_csv_row(out, {"metric", "kind", "field", "value"});
+  for (const MetricSample& s : snapshot()) {
+    write_csv_row(out, {s.name, s.kind, s.field, fmt_value(s.value)});
+  }
+}
+
+}  // namespace reco::obs

@@ -1,0 +1,142 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// with cheap stable handles for hot paths.
+//
+// Design constraints, in priority order:
+//  1. *Zero schedule perturbation*: instruments only read pipeline state
+//     and accumulate numbers — no metric ever feeds back into a decision.
+//  2. *Hot-path cost*: a handle is a reference to an atomic slot, so an
+//     instrumented site is `if (obs::enabled()) counter.inc()` — one
+//     relaxed load + branch when telemetry is off.  Look names up once
+//     (function-local static reference), never per event.
+//  3. *Thread safety*: all mutators are lock-free atomics (the pipeline
+//     fans out across the runtime ThreadPool); only registration and
+//     snapshotting take the registry mutex.
+//
+// Handles returned by `counter()` / `gauge()` / `histogram()` are valid
+// for the registry's lifetime: slots are heap-allocated once and never
+// moved, and `reset()` zeroes values without invalidating references.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace reco::obs {
+
+/// Monotonically increasing sum (doubles, so one type serves event counts
+/// and accumulated quantities like padding seconds).
+class Counter {
+ public:
+  void inc(double d = 1.0) { v_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Last-write-wins scalar, plus a monotone `set_max` for high-water marks.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void set_max(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur && !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket k counts observations with
+/// `x <= bound[k]` (first matching bucket); anything above the last bound
+/// lands in the overflow bucket.  Also tracks count / sum / min / max so a
+/// snapshot carries the mean and the range without a separate gauge.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t bucket_count(std::size_t k) const {
+    return buckets_[k].load(std::memory_order_relaxed);
+  }
+  std::uint64_t overflow() const {
+    return buckets_[bounds_.size()].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;  // ascending upper bounds
+  // bounds_.size() buckets + 1 overflow slot at the back.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> storage_;
+  std::atomic<std::uint64_t>* buckets_;  // alias of storage_ for readability
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Power-of-two upper bounds 1, 2, 4, ... up to and including `hi` —
+/// the standard bucket layout for counts (nnz, path lengths, rounds).
+std::vector<double> pow2_buckets(double hi);
+
+/// One flattened value of a metric snapshot: histograms expand to one
+/// sample per statistic (count, sum, min, max, le_<bound>..., overflow).
+struct MetricSample {
+  std::string name;
+  std::string kind;   ///< "counter" | "gauge" | "histogram"
+  std::string field;  ///< "value" for scalars; statistic name for histograms
+  double value = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create; the returned reference is stable for the registry's
+  /// lifetime.  A name registers as exactly one kind (first call wins;
+  /// re-registering as a different kind throws std::logic_error).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` must be non-empty and ascending; only the first registration
+  /// of a name defines the buckets.
+  Histogram& histogram(const std::string& name, const std::vector<double>& bounds);
+
+  /// Zero every value.  Registrations (and outstanding handles) survive.
+  void reset();
+
+  /// All metrics, flattened, sorted by (name, field-registration order).
+  std::vector<MetricSample> snapshot() const;
+
+  /// Compact CSV dump (`metric,kind,field,value`) via the stats/csv
+  /// escaping helpers.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Slot {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Slot& find_or_create(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace reco::obs

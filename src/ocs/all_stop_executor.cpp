@@ -1,15 +1,20 @@
 #include "ocs/all_stop_executor.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace reco {
 
 ExecutionResult execute_all_stop(const CircuitSchedule& schedule, const Matrix& demand,
                                  Time delta, Time start_clock, CoflowId coflow_id,
                                  SliceSchedule* out_slices) {
+  obs::ScopedSpan span("ocs.execute_all_stop", "ocs");
   ExecutionResult r;
   r.residual = demand;
   Time clock = start_clock;
+  int skipped = 0;
 
   for (const CircuitAssignment& a : schedule.assignments) {
     // Largest residual among this assignment's circuits decides whether the
@@ -21,7 +26,10 @@ ExecutionResult execute_all_stop(const CircuitSchedule& schedule, const Matrix& 
       const Time rem = r.residual.at(c.in, c.out);
       if (rem >= kMinServiceQuantum) max_rem = std::max(max_rem, rem);
     }
-    if (max_rem == 0.0) continue;  // nothing useful left: skip, no reconfig
+    if (max_rem == 0.0) {
+      ++skipped;
+      continue;  // nothing useful left: skip, no reconfig
+    }
 
     clock += delta;
     ++r.reconfigurations;
@@ -43,6 +51,18 @@ ExecutionResult execute_all_stop(const CircuitSchedule& schedule, const Matrix& 
 
   r.cct = clock - start_clock;
   r.satisfied = r.residual.max_entry() < kMinServiceQuantum;
+  if (obs::enabled()) {
+    obs::metrics().counter("ocs.all_stop.reconfigurations").inc(r.reconfigurations);
+    obs::metrics().counter("ocs.all_stop.skipped_assignments").inc(skipped);
+    obs::metrics().counter("ocs.all_stop.transmission_time").inc(r.transmission_time);
+    // Per-coflow service window on the simulated-time axis.
+    obs::tracer().sim_span("coflow " + std::to_string(coflow_id), "ocs.coflow", start_clock,
+                           clock, coflow_id,
+                           {{"reconfigurations", static_cast<double>(r.reconfigurations)},
+                            {"transmit", r.transmission_time}});
+    span.arg("reconfigurations", r.reconfigurations);
+    span.arg("skipped", skipped);
+  }
   return r;
 }
 

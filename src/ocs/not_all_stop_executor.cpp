@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace reco {
 
 ExecutionResult execute_not_all_stop(const CircuitSchedule& schedule, const Matrix& demand,
                                      Time delta) {
+  obs::ScopedSpan span("ocs.execute_not_all_stop", "ocs");
   ExecutionResult r;
   r.residual = demand;
   const int n = demand.n();
@@ -45,6 +48,11 @@ ExecutionResult execute_not_all_stop(const CircuitSchedule& schedule, const Matr
 
   r.cct = cct;
   r.satisfied = r.residual.max_entry() < kMinServiceQuantum;
+  if (obs::enabled()) {
+    obs::metrics().counter("ocs.not_all_stop.reconfigurations").inc(r.reconfigurations);
+    obs::metrics().counter("ocs.not_all_stop.transmission_time").inc(r.transmission_time);
+    span.arg("reconfigurations", r.reconfigurations);
+  }
   return r;
 }
 

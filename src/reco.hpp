@@ -20,6 +20,9 @@
 #include "matching/bottleneck.hpp"      // IWYU pragma: export
 #include "matching/hopcroft_karp.hpp"   // IWYU pragma: export
 #include "matching/hungarian.hpp"       // IWYU pragma: export
+#include "obs/metrics.hpp"              // IWYU pragma: export
+#include "obs/obs.hpp"                  // IWYU pragma: export
+#include "obs/trace.hpp"                // IWYU pragma: export
 #include "ocs/all_stop_executor.hpp"    // IWYU pragma: export
 #include "ocs/not_all_stop_executor.hpp"  // IWYU pragma: export
 #include "ocs/slice_executor.hpp"       // IWYU pragma: export

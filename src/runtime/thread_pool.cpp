@@ -1,14 +1,41 @@
 #include "runtime/thread_pool.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <utility>
+
+#include "obs/obs.hpp"
 
 namespace reco::runtime {
 
 namespace {
 
 thread_local bool tls_on_worker = false;
+
+/// Telemetry shim around a submitted job: queue wait (enqueue -> first
+/// instruction), busy time, and a "pool.task" span on the worker's wall
+/// track.  Only wrapped when telemetry is on at submit time, so the
+/// disabled cost is the one branch in submit().
+std::function<void()> wrap_job_for_telemetry(std::function<void()> job) {
+  const auto enqueued = obs::Tracer::Clock::now();
+  return [job = std::move(job), enqueued]() {
+    const auto start = obs::Tracer::Clock::now();
+    job();
+    const auto end = obs::Tracer::Clock::now();
+    if (!obs::enabled()) return;  // toggled off mid-flight: drop the sample
+    const double wait_us = std::chrono::duration<double, std::micro>(start - enqueued).count();
+    const double busy_us = std::chrono::duration<double, std::micro>(end - start).count();
+    static obs::Counter& tasks = obs::metrics().counter("pool.tasks");
+    static obs::Counter& busy = obs::metrics().counter("pool.busy_us");
+    static obs::Histogram& wait =
+        obs::metrics().histogram("pool.queue_wait_us", obs::pow2_buckets(1048576.0));
+    tasks.inc();
+    busy.inc(busy_us);
+    wait.observe(wait_us);
+    obs::tracer().complete("pool.task", "pool", start, end, {{"queue_wait_us", wait_us}});
+  };
+}
 
 /// Parallelism picked from the environment: RECO_THREADS if set to a
 /// positive integer, otherwise the hardware.
@@ -52,6 +79,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+  if (obs::enabled()) job = wrap_job_for_telemetry(std::move(job));
   if (workers_.empty()) {
     job();
     return;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "ocs/all_stop_executor.hpp"
 #include "runtime/parallel.hpp"
 #include "ocs/slice_executor.hpp"
@@ -40,9 +41,15 @@ MultiScheduleResult sequential_multi_schedule(const std::vector<Coflow>& coflows
   // The per-coflow planners see only the coflow's own demand, never the
   // clock, so the expensive decompositions fan out across the runtime's
   // thread pool; only the (cheap) back-to-back execution below is ordered.
-  const std::vector<CircuitSchedule> plans = runtime::parallel_map(
-      order, [&](int idx) { return schedule_one(coflows[idx].demand, delta, algo); });
+  obs::ScopedSpan span("sched.sequential_multi", "sched");
+  span.arg("coflows", static_cast<double>(order.size()));
+  const std::vector<CircuitSchedule> plans = [&] {
+    obs::ScopedSpan plan_span("sched.plan_coflows", "sched");
+    return runtime::parallel_map(
+        order, [&](int idx) { return schedule_one(coflows[idx].demand, delta, algo); });
+  }();
 
+  obs::ScopedSpan exec_span("sched.execute_back_to_back", "sched");
   SliceSchedule slices;
   int reconfigs = 0;
   Time clock = 0.0;
@@ -71,10 +78,21 @@ MultiScheduleResult lp_ii_gb(const std::vector<Coflow>& coflows, Time delta,
 
 MultiScheduleResult reco_mul_pipeline(const std::vector<Coflow>& coflows, Time delta, double c,
                                       OrderingPolicy ordering) {
-  const std::vector<int> order = order_coflows(coflows, ordering);
-  const SliceSchedule packet = packet_schedule(coflows, order);
+  obs::ScopedSpan span("sched.reco_mul_pipeline", "sched");
+  span.arg("coflows", static_cast<double>(coflows.size()));
+  const std::vector<int> order = [&] {
+    obs::ScopedSpan s("sched.order_coflows", "sched");
+    return order_coflows(coflows, ordering);
+  }();
+  const SliceSchedule packet = [&] {
+    obs::ScopedSpan s("sched.packet_schedule", "sched");
+    return packet_schedule(coflows, order);
+  }();
   const RecoMulSchedule transformed = reco_mul_transform(packet, delta, c);
   const int reconfigs = count_reconfigurations(transformed.pseudo);
+  if (obs::enabled()) {
+    obs::metrics().counter("reco_mul.reconfigurations").inc(static_cast<double>(reconfigs));
+  }
   return finalize(transformed.real, coflows, reconfigs);
 }
 

@@ -6,11 +6,14 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "ocs/slice_executor.hpp"
 
 namespace reco {
 
 RecoMulSchedule reco_mul_transform(const SliceSchedule& packet, Time delta, double c) {
+  obs::ScopedSpan span("sched.reco_mul_transform", "sched");
+  span.arg("slices", static_cast<double>(packet.size()));
   if (c < 1.0) {
     throw std::invalid_argument("reco_mul_transform: requires c >= 1 (floor(sqrt(c)) >= 1)");
   }
@@ -49,13 +52,21 @@ RecoMulSchedule reco_mul_transform(const SliceSchedule& packet, Time delta, doub
     });
     std::map<PortId, Time> free_in;
     std::map<PortId, Time> free_out;
+    std::uint64_t pushed = 0;  // slices legalization moved off the snap grid
     for (std::size_t f : by_start) {
       FlowSlice& s = out.pseudo[f];
       const Time start = std::max({s.start, free_in[s.src], free_out[s.dst]});
+      if (start > s.start + kTimeEps) ++pushed;
       s.end = start + s.duration();
       s.start = start;
       free_in[s.src] = s.end;
       free_out[s.dst] = s.end;
+    }
+    if (obs::enabled()) {
+      obs::metrics().counter("reco_mul.calls").inc();
+      obs::metrics().counter("reco_mul.slices").inc(static_cast<double>(packet.size()));
+      obs::metrics().counter("reco_mul.legalization_pushes").inc(static_cast<double>(pushed));
+      span.arg("legalization_pushes", static_cast<double>(pushed));
     }
   }
 

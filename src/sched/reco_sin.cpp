@@ -5,6 +5,7 @@
 #include "bvn/regularization.hpp"
 #include "bvn/stuffing.hpp"
 #include "core/support_index.hpp"
+#include "obs/obs.hpp"
 
 namespace reco {
 
@@ -12,8 +13,12 @@ CircuitSchedule reco_sin(const Matrix& demand, Time delta, BvnPolicy policy) {
   // One O(N^2) ingest of the dense input; from here on every stage —
   // regularize, stuff, BvN peel — works the support index, so the
   // pipeline's cost tracks nnz(D) rather than N^2 per peeling round.
+  obs::ScopedSpan span("sched.reco_sin", "sched");
   const SupportIndex indexed(demand);
   if (indexed.nnz() == 0) return {};
+  span.arg("n", static_cast<double>(indexed.n()));
+  span.arg("nnz", static_cast<double>(indexed.nnz()));
+  if (obs::enabled()) obs::metrics().counter("sched.reco_sin.calls").inc();
   SupportIndex stuffed = stuff_granular(regularize(indexed, delta), delta);
   return bvn_decompose(std::move(stuffed), policy);
 }

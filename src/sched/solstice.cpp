@@ -7,6 +7,7 @@
 #include "bvn/stuffing.hpp"
 #include "core/support_index.hpp"
 #include "matching/incremental_matcher.hpp"
+#include "obs/obs.hpp"
 
 namespace reco {
 
@@ -18,11 +19,16 @@ constexpr double kSliceFloor = 8 * kTimeEps;
 }  // namespace
 
 CircuitSchedule solstice(const Matrix& demand, Time /*delta*/) {
+  obs::ScopedSpan span("sched.solstice", "sched");
   SupportIndex indexed(demand);
   if (indexed.nnz() == 0) return {};
+  span.arg("n", static_cast<double>(indexed.n()));
+  span.arg("nnz", static_cast<double>(indexed.nnz()));
+  if (obs::enabled()) obs::metrics().counter("sched.solstice.calls").inc();
   SupportIndex m = stuff(std::move(indexed));
 
   CircuitSchedule schedule;
+  std::uint64_t halvings = 0;  // published once after the slicing loop
   double r = std::exp2(std::ceil(std::log2(m.max_entry())));
   IncrementalMatcher matcher(m, r);
 
@@ -31,6 +37,7 @@ CircuitSchedule solstice(const Matrix& demand, Time /*delta*/) {
     if (!matcher.is_perfect()) {
       r /= 2.0;
       matcher.set_threshold(r);
+      ++halvings;
       continue;
     }
     CircuitAssignment a;
@@ -52,6 +59,13 @@ CircuitSchedule solstice(const Matrix& demand, Time /*delta*/) {
   if (m.nnz() > 0) {
     const CircuitSchedule tail = cover_decompose(std::move(m));
     for (const auto& a : tail.assignments) schedule.assignments.push_back(a);
+  }
+  if (obs::enabled()) {
+    obs::metrics().counter("solstice.slices").inc(
+        static_cast<double>(schedule.num_assignments()));
+    obs::metrics().counter("solstice.threshold_halvings").inc(static_cast<double>(halvings));
+    span.arg("slices", static_cast<double>(schedule.num_assignments()));
+    span.arg("halvings", static_cast<double>(halvings));
   }
   return schedule;
 }

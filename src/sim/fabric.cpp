@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/rng.hpp"
 
@@ -29,10 +31,19 @@ double utilization(const std::vector<Time>& busy_in, const std::vector<Time>& bu
 
 }  // namespace
 
+namespace {
+/// Sim-pid track carrying fabric-level circuit events (coflow tracks are
+/// the non-negative ids, so the fabric track sits below them).
+constexpr int kFabricTrack = -1;
+}  // namespace
+
 SimulationReport simulate_single_coflow(CircuitController& controller, const Matrix& demand,
                                         Time delta, const FaultModel& faults) {
+  obs::ScopedSpan span("sim.single_coflow", "sim");
+  if (obs::enabled()) obs::tracer().name_sim_track(kFabricTrack, "fabric");
   SimulationReport report;
   const int n = demand.n();
+  span.arg("n", n);
   Matrix residual = demand;
   std::vector<Time> busy_in(n, 0.0);
   std::vector<Time> busy_out(n, 0.0);
@@ -81,6 +92,12 @@ SimulationReport simulate_single_coflow(CircuitController& controller, const Mat
     queue.schedule(queue.now() + setup, [&, assignment, hold]() {
       const Time start = queue.now();
       report.transmission_time += hold;
+      if (obs::enabled()) {
+        obs::tracer().sim_instant("circuit.establish", "sim.circuit", start, kFabricTrack,
+                                  {{"circuits", static_cast<double>(assignment.circuits.size())}});
+        obs::tracer().sim_span("hold", "sim.circuit", start, start + hold, kFabricTrack,
+                               {{"circuits", static_cast<double>(assignment.circuits.size())}});
+      }
       for (const Circuit& c : assignment.circuits) {
         const Time rem = residual.at(c.in, c.out);
         const Time sent = std::min(hold, rem);
@@ -90,7 +107,15 @@ SimulationReport simulate_single_coflow(CircuitController& controller, const Mat
         busy_out[c.out] += sent;
         if (residual.at(c.in, c.out) < kMinServiceQuantum) {
           report.completions.push_back({c, start + sent});
+          if (obs::enabled()) {
+            obs::tracer().sim_instant("flow.complete", "sim.flow", start + sent, kFabricTrack,
+                                      {{"in", static_cast<double>(c.in)},
+                                       {"out", static_cast<double>(c.out)}});
+          }
         }
+      }
+      if (obs::enabled()) {
+        obs::tracer().sim_instant("circuit.teardown", "sim.circuit", start + hold, kFabricTrack);
       }
       queue.schedule(start + hold, decide);
     });
@@ -107,11 +132,20 @@ SimulationReport simulate_single_coflow(CircuitController& controller, const Mat
   report.satisfied = residual.max_entry() < kMinServiceQuantum;
   report.avg_port_utilization = utilization(busy_in, busy_out, report.cct);
   report.events = queue.events_processed();
+  if (obs::enabled()) {
+    obs::metrics().counter("sim.reconfigurations").inc(report.reconfigurations);
+    obs::metrics().counter("sim.reconfiguration_time").inc(report.reconfiguration_time);
+    obs::metrics().counter("sim.transmission_time").inc(report.transmission_time);
+    obs::metrics().counter("sim.events").inc(static_cast<double>(report.events));
+    span.arg("reconfigurations", report.reconfigurations);
+    span.arg("events", static_cast<double>(report.events));
+  }
   return report;
 }
 
 SimulationReport simulate_not_all_stop_replay(const CircuitSchedule& schedule,
                                               const Matrix& demand, Time delta) {
+  obs::ScopedSpan span("sim.not_all_stop_replay", "sim");
   SimulationReport report;
   const int n = demand.n();
   Matrix residual = demand;
@@ -165,11 +199,22 @@ SimulationReport simulate_not_all_stop_replay(const CircuitSchedule& schedule,
   report.satisfied = residual.max_entry() < kMinServiceQuantum;
   report.avg_port_utilization = utilization(busy_in, busy_out, report.cct);
   report.events = queue.events_processed();
+  if (obs::enabled()) {
+    obs::metrics().counter("sim.reconfigurations").inc(report.reconfigurations);
+    obs::metrics().counter("sim.reconfiguration_time").inc(report.reconfiguration_time);
+    obs::metrics().counter("sim.transmission_time").inc(report.transmission_time);
+    obs::metrics().counter("sim.events").inc(static_cast<double>(report.events));
+    span.arg("reconfigurations", report.reconfigurations);
+    span.arg("events", static_cast<double>(report.events));
+  }
   return report;
 }
 
 SliceReplayReport simulate_slice_schedule(const SliceSchedule& schedule, int num_ports,
                                           int num_coflows) {
+  obs::ScopedSpan span("sim.slice_replay", "sim");
+  span.arg("slices", static_cast<double>(schedule.size()));
+  span.arg("coflows", num_coflows);
   SliceReplayReport report;
   report.cct.assign(num_coflows, 0.0);
   std::vector<Time> busy_in(num_ports, 0.0);
@@ -216,6 +261,28 @@ SliceReplayReport simulate_slice_schedule(const SliceSchedule& schedule, int num
 
   report.avg_port_utilization = utilization(busy_in, busy_out, report.makespan);
   report.events = queue.events_processed();
+  if (obs::enabled()) {
+    // Per-coflow service window on the simulated-time axis: first slice
+    // start -> completion, one Perfetto track per coflow.
+    std::vector<Time> first_start(num_coflows, -1.0);
+    for (const FlowSlice& s : schedule) {
+      if (s.coflow < 0 || s.coflow >= num_coflows) continue;
+      if (first_start[s.coflow] < 0.0 || s.start < first_start[s.coflow]) {
+        first_start[s.coflow] = s.start;
+      }
+    }
+    for (int k = 0; k < num_coflows; ++k) {
+      if (first_start[k] < 0.0) continue;  // coflow owns no slice
+      obs::tracer().name_sim_track(k, "coflow " + std::to_string(k));
+      obs::tracer().sim_span("coflow " + std::to_string(k), "sim.coflow", first_start[k],
+                             report.cct[k], k, {{"cct", report.cct[k]}});
+      obs::tracer().sim_instant("coflow.finish", "sim.coflow", report.cct[k], k);
+    }
+    obs::metrics().counter("sim.events").inc(static_cast<double>(report.events));
+    obs::metrics().counter("sim.port_violations").inc(static_cast<double>(report.port_violations));
+    span.arg("events", static_cast<double>(report.events));
+    span.arg("violations", static_cast<double>(report.port_violations));
+  }
   return report;
 }
 

@@ -1,5 +1,6 @@
 #include "stats/csv.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -47,8 +48,20 @@ void write_slices_csv(std::ostream& out, const SliceSchedule& schedule) {
   }
 }
 
+void ensure_parent_directory(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create directory " + parent.string() + " for " + path +
+                             ": " + ec.message());
+  }
+}
+
 void save_csv(const std::string& path, const std::vector<std::string>& header,
               const std::vector<std::vector<std::string>>& rows) {
+  ensure_parent_directory(path);
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_csv: cannot open " + path);
   write_csv(out, header, rows);

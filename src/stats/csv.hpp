@@ -25,7 +25,13 @@ void write_csv(std::ostream& out, const std::vector<std::string>& header,
 /// Slice schedules as start,end,src,dst,coflow rows — the Gantt raw data.
 void write_slices_csv(std::ostream& out, const SliceSchedule& schedule);
 
-/// File convenience wrapper; throws std::runtime_error on I/O failure.
+/// Create `path`'s missing parent directories (no-op for bare filenames).
+/// Throws std::runtime_error naming the directory on failure, so "the csv
+/// silently went to the wrong cwd" and "mkdir failed" are both loud.
+void ensure_parent_directory(const std::string& path);
+
+/// File convenience wrapper; creates missing parent directories and throws
+/// std::runtime_error on I/O failure.
 void save_csv(const std::string& path, const std::vector<std::string>& header,
               const std::vector<std::vector<std::string>>& rows);
 

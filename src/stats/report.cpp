@@ -58,6 +58,7 @@ std::string ReportTable::to_string() const {
 void ReportTable::print() const { std::fputs(to_string().c_str(), stdout); }
 
 void ReportTable::save_csv(const std::string& path) const {
+  ensure_parent_directory(path);
   std::ofstream out(path);
   if (!out) throw std::runtime_error("ReportTable::save_csv: cannot open " + path);
   out << "# " << title_ << '\n';

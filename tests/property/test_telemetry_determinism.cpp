@@ -1,0 +1,111 @@
+// Telemetry must be write-only: collection reads pipeline state and
+// accumulates numbers, never feeds a decision.  These tests pin that
+// contract by running the same scheduling problems with obs enabled and
+// disabled and comparing the serialized outputs byte for byte.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/coflow.hpp"
+#include "obs/obs.hpp"
+#include "sched/multi_baselines.hpp"
+#include "sched/reco_sin.hpp"
+#include "sched/solstice.hpp"
+#include "stats/csv.hpp"
+#include "testing_util.hpp"
+#include "trace/rng.hpp"
+
+namespace reco {
+namespace {
+
+/// Guard: forces telemetry to a known state and restores + wipes on exit,
+/// so a failing assertion can't leak an enabled tracer into other tests.
+class ObsState {
+ public:
+  explicit ObsState(bool on) : was_(obs::enabled()) { obs::set_enabled(on); }
+  ~ObsState() {
+    obs::set_enabled(was_);
+    obs::reset();
+  }
+
+ private:
+  bool was_;
+};
+
+std::string slices_csv(const SliceSchedule& schedule) {
+  std::ostringstream out;
+  write_slices_csv(out, schedule);
+  return out.str();
+}
+
+std::string circuits_txt(const CircuitSchedule& schedule) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const CircuitAssignment& a : schedule.assignments) {
+    out << a.duration << ':';
+    for (const Circuit& c : a.circuits) out << ' ' << c.in << "->" << c.out;
+    out << '\n';
+  }
+  return out.str();
+}
+
+TEST(TelemetryDeterminism, SingleCoflowSchedulesAreByteIdentical) {
+  Rng rng(41);
+  for (const int n : {8, 24}) {
+    const Matrix demand = testing::random_demand(rng, n, 0.3, 0.5, 10.0);
+    std::string off_sin, off_sol;
+    {
+      ObsState obs_off(false);
+      off_sin = circuits_txt(reco_sin(demand, 1e-4));
+      off_sol = circuits_txt(solstice(demand));
+    }
+    std::string on_sin, on_sol;
+    {
+      ObsState obs_on(true);
+      on_sin = circuits_txt(reco_sin(demand, 1e-4));
+      on_sol = circuits_txt(solstice(demand));
+      EXPECT_GT(obs::tracer().size(), 0u) << "telemetry did not record anything";
+    }
+    EXPECT_EQ(off_sin, on_sin) << "reco_sin diverged with telemetry on, n=" << n;
+    EXPECT_EQ(off_sol, on_sol) << "solstice diverged with telemetry on, n=" << n;
+  }
+}
+
+TEST(TelemetryDeterminism, RecoMulPipelineIsByteIdentical) {
+  Rng rng(42);
+  const std::vector<Coflow> coflows = testing::random_workload(rng, 12, 10, 1e-4, 4.0);
+  std::string off_csv;
+  {
+    ObsState obs_off(false);
+    off_csv = slices_csv(reco_mul_pipeline(coflows, 1e-4, 4.0).schedule);
+  }
+  std::string on_csv;
+  {
+    ObsState obs_on(true);
+    on_csv = slices_csv(reco_mul_pipeline(coflows, 1e-4, 4.0).schedule);
+    EXPECT_GT(obs::tracer().size(), 0u) << "telemetry did not record anything";
+    EXPECT_GT(obs::metrics().counter("reco_mul.calls").value(), 0.0);
+  }
+  EXPECT_EQ(off_csv, on_csv) << "reco-mul schedule diverged with telemetry on";
+}
+
+TEST(TelemetryDeterminism, SequentialMultiIsByteIdentical) {
+  Rng rng(43);
+  const std::vector<Coflow> coflows = testing::random_workload(rng, 8, 12, 1e-4, 4.0);
+  std::string off_csv;
+  {
+    ObsState obs_off(false);
+    off_csv = slices_csv(sebf_solstice(coflows, 1e-4).schedule);
+  }
+  std::string on_csv;
+  {
+    ObsState obs_on(true);
+    on_csv = slices_csv(sebf_solstice(coflows, 1e-4).schedule);
+  }
+  EXPECT_EQ(off_csv, on_csv) << "sebf-solstice schedule diverged with telemetry on";
+}
+
+}  // namespace
+}  // namespace reco

@@ -53,7 +53,27 @@ TEST(Csv, SaveCsvWritesFile) {
   std::string line;
   std::getline(in, line);
   EXPECT_EQ(line, "h");
-  EXPECT_THROW(save_csv("/nonexistent/dir/x.csv", {}, {}), std::runtime_error);
+}
+
+TEST(Csv, SaveCsvCreatesMissingParentDirectories) {
+  const std::string path =
+      ::testing::TempDir() + "/reco_csv_mkdir/nested/deep/x.csv";
+  save_csv(path, {"h"}, {{"v"}});
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+TEST(Csv, SaveCsvThrowsWhenParentCannotBeCreated) {
+  // A path routed *through a regular file* can never get its parent
+  // directory created; the error must name the offending path.
+  const std::string blocker = ::testing::TempDir() + "/reco_csv_blocker";
+  { std::ofstream(blocker) << "not a directory\n"; }
+  try {
+    save_csv(blocker + "/sub/x.csv", {}, {});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("reco_csv_blocker"), std::string::npos) << e.what();
+  }
 }
 
 }  // namespace

@@ -54,7 +54,23 @@ TEST(Report, SaveCsvRoundTrip) {
   EXPECT_EQ(line, "a,b");
   std::getline(in, line);
   EXPECT_EQ(line, "1,\"2,x\"");
-  EXPECT_THROW(t.save_csv("/nonexistent/x.csv"), std::runtime_error);
+}
+
+TEST(Report, SaveCsvCreatesMissingParentDirectories) {
+  ReportTable t("mkdir test");
+  t.set_header({"a"});
+  t.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "/reco_report_mkdir/sub/x.csv";
+  t.save_csv(path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+TEST(Report, SaveCsvThrowsWhenParentCannotBeCreated) {
+  ReportTable t("err test");
+  const std::string blocker = ::testing::TempDir() + "/reco_report_blocker";
+  { std::ofstream(blocker) << "not a directory\n"; }
+  EXPECT_THROW(t.save_csv(blocker + "/sub/x.csv"), std::runtime_error);
 }
 
 TEST(Report, FormatHelpers) {
