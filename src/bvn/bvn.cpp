@@ -5,9 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
-#include "matching/bottleneck.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "matching/incremental_matcher.hpp"
+#include "matching/matching_engine.hpp"
 #include "obs/obs.hpp"
 
 namespace reco {
@@ -116,24 +116,29 @@ CircuitSchedule peel(SupportIndex m, double initial_threshold, bool halve_on_fai
 CircuitSchedule peel_exact_bottleneck(SupportIndex m) {
   CircuitSchedule schedule;
   obs::ScopedSpan span("bvn.peel_exact_bottleneck", "bvn");
+  // One scratch for the whole peel: each round re-enters the ladder search
+  // warm-seeded with the previous round's matching (only the subtracted
+  // entries can fall out), and steady-state rounds allocate nothing.
+  MatchingScratch scratch;
+  const int n = m.n();
   while (m.nnz() > 0) {
     const bool obs_on = obs::enabled();
     const int nnz_before = m.nnz();
     obs::Tracer::Clock::time_point round_start;
     if (obs_on) round_start = obs::Tracer::Clock::now();
-    const auto match = bottleneck_perfect_matching(m);
-    if (!match) {
+    if (!bottleneck_solve(m, scratch)) {
       // Same round-off escape hatch as peel(): see the comment there.
       const CircuitSchedule tail = cover_decompose(std::move(m));
       for (const auto& a : tail.assignments) schedule.assignments.push_back(a);
       break;
     }
     CircuitAssignment a;
-    a.duration = match->bottleneck;
-    a.circuits.reserve(match->pairs.size());
-    for (const auto& [i, j] : match->pairs) {
+    a.duration = scratch.bottleneck;
+    a.circuits.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      const int j = scratch.final_left[i];
       a.circuits.push_back({i, j});
-      m.set(i, j, clamp_zero(m.at(i, j) - match->bottleneck));
+      m.set(i, j, clamp_zero(m.at(i, j) - scratch.bottleneck));
     }
     schedule.assignments.push_back(std::move(a));
     if (obs_on) {

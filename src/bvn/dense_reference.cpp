@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <stdexcept>
 #include <vector>
@@ -136,9 +137,9 @@ CircuitSchedule peel(Matrix m, double initial_threshold, bool halve_on_failure) 
 CircuitSchedule peel_exact_bottleneck(Matrix m) {
   CircuitSchedule schedule;
   while (m.nnz() > 0) {
-    // The Matrix overload of bottleneck_perfect_matching is itself still
-    // the dense implementation (full-scan value ladder + dense adjacency).
-    const auto match = bottleneck_perfect_matching(m);
+    // Uses the local seed oracle, not the amortized engine, so this peel
+    // stays an independent reference for the engine's warm-started rounds.
+    const auto match = bottleneck_perfect_matching_reference(m);
     if (!match) {
       const CircuitSchedule tail = dense_reference::cover_decompose(std::move(m));
       for (const auto& a : tail.assignments) schedule.assignments.push_back(a);
@@ -156,7 +157,133 @@ CircuitSchedule peel_exact_bottleneck(Matrix m) {
   return schedule;
 }
 
+// --- seed Hopcroft-Karp, kept verbatim as the oracle's matcher ----------
+
+constexpr int kHkInf = std::numeric_limits<int>::max();
+
+bool ref_bfs_layers(const std::vector<std::vector<int>>& adj, const std::vector<int>& match_left,
+                    const std::vector<int>& match_right, std::vector<int>& dist) {
+  std::deque<int> q;
+  for (std::size_t u = 0; u < adj.size(); ++u) {
+    if (match_left[u] == -1) {
+      dist[u] = 0;
+      q.push_back(static_cast<int>(u));
+    } else {
+      dist[u] = kHkInf;
+    }
+  }
+  bool found = false;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop_front();
+    for (int v : adj[u]) {
+      const int w = match_right[v];
+      if (w == -1) {
+        found = true;
+      } else if (dist[w] == kHkInf) {
+        dist[w] = dist[u] + 1;
+        q.push_back(w);
+      }
+    }
+  }
+  return found;
+}
+
+bool ref_dfs_augment(int u, const std::vector<std::vector<int>>& adj,
+                     std::vector<int>& match_left, std::vector<int>& match_right,
+                     std::vector<int>& dist) {
+  for (int v : adj[u]) {
+    const int w = match_right[v];
+    if (w == -1 ||
+        (dist[w] == dist[u] + 1 && ref_dfs_augment(w, adj, match_left, match_right, dist))) {
+      match_left[u] = v;
+      match_right[v] = u;
+      return true;
+    }
+  }
+  dist[u] = kHkInf;  // dead end: prune for this phase
+  return false;
+}
+
+MatchingResult ref_hopcroft_karp(int n, const std::vector<std::vector<int>>& adj) {
+  MatchingResult r;
+  r.match_left.assign(n, -1);
+  r.match_right.assign(n, -1);
+  std::vector<int> dist(n);
+  while (ref_bfs_layers(adj, r.match_left, r.match_right, dist)) {
+    for (int u = 0; u < n; ++u) {
+      if (r.match_left[u] == -1) {
+        if (ref_dfs_augment(u, adj, r.match_left, r.match_right, dist)) ++r.size;
+      }
+    }
+  }
+  return r;
+}
+
+/// Shared tail of the two reference overloads: `values` arrives as the
+/// raw row-major nonzero list; adjacency at each probe comes from the
+/// (unchanged, seed-faithful) threshold_adjacency builders.
+template <class Src>
+std::optional<BottleneckMatching> bottleneck_reference_impl(const Src& src,
+                                                            std::vector<double> values) {
+  if (values.empty()) return std::nullopt;
+  std::sort(values.begin(), values.end());
+  // Exactly-distinct ladder; the tolerance lives in threshold_adjacency's
+  // `>= t - kTimeEps` edge test only (the epsilon-dedup fix).
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  const int n = src.n();
+  const auto feasible = [&](double t) {
+    return ref_hopcroft_karp(n, threshold_adjacency(src, t)).size == n;
+  };
+
+  // A perfect matching must exist at the smallest nonzero threshold.
+  if (!feasible(values.front())) return std::nullopt;
+
+  // Binary search for the largest threshold still admitting a perfect
+  // matching.  Invariant: feasible at values[lo], infeasible at values[hi].
+  std::size_t lo = 0;
+  std::size_t hi = values.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (feasible(values[mid])) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  const double best = values[lo];
+  const MatchingResult r = ref_hopcroft_karp(n, threshold_adjacency(src, best));
+  BottleneckMatching out;
+  out.bottleneck = best;
+  out.pairs.reserve(n);
+  for (int i = 0; i < n; ++i) out.pairs.emplace_back(i, r.match_left[i]);
+  return out;
+}
+
 }  // namespace
+
+std::optional<BottleneckMatching> bottleneck_perfect_matching_reference(const Matrix& m) {
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(m.n()) * m.n());
+  for (int i = 0; i < m.n(); ++i) {
+    for (int j = 0; j < m.n(); ++j) {
+      const double x = m.at(i, j);
+      if (!approx_zero(x)) values.push_back(x);
+    }
+  }
+  return bottleneck_reference_impl(m, std::move(values));
+}
+
+std::optional<BottleneckMatching> bottleneck_perfect_matching_reference(const SupportIndex& idx) {
+  std::vector<double> values;
+  values.reserve(idx.nnz());
+  for (int i = 0; i < idx.n(); ++i) {
+    for (const int j : idx.row_support(i)) values.push_back(idx.at(i, j));
+  }
+  return bottleneck_reference_impl(idx, std::move(values));
+}
 
 CircuitSchedule cover_decompose(Matrix m) {
   CircuitSchedule schedule;

@@ -14,11 +14,15 @@
 // support (see DESIGN.md §3, "Complexity & sparsity").
 #pragma once
 
+#include <optional>
+
 #include "core/circuit.hpp"
 #include "core/matrix.hpp"
+#include "core/support_index.hpp"
 #include "core/types.hpp"
 
 #include "bvn/bvn.hpp"  // BvnPolicy
+#include "matching/bottleneck.hpp"
 
 namespace reco::dense_reference {
 
@@ -35,5 +39,17 @@ Matrix stuff_granular(const Matrix& demand, Time quantum);
 
 /// Dense Solstice: stuffing + power-of-two slicing with the dense matcher.
 CircuitSchedule solstice(const Matrix& demand, Time delta = 100e-6);
+
+/// Seed bottleneck max-min matching, retained as the reference oracle for
+/// the amortized engine (src/matching/matching_engine.*): sorted distinct
+/// value ladder + binary search, one cold recursive Hopcroft-Karp per
+/// probe.  The ladder uses exact dedup — the one deliberate divergence
+/// from the seed, whose pairwise-approx `std::unique` collapsed transitive
+/// near-equal chains (see the engine header); everything else, including
+/// BFS/DFS visit order and hence the returned pairs, is the seed
+/// algorithm verbatim.  The SupportIndex overload walks the support in the
+/// same row-major order, so both overloads return identical results.
+std::optional<BottleneckMatching> bottleneck_perfect_matching_reference(const Matrix& m);
+std::optional<BottleneckMatching> bottleneck_perfect_matching_reference(const SupportIndex& idx);
 
 }  // namespace reco::dense_reference

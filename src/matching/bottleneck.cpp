@@ -1,88 +1,41 @@
+// Exact bottleneck (max-min) perfect matching — thin wrappers over the
+// amortized engine in matching_engine.cpp.  These no-scratch overloads
+// serve one-shot callers and tests through a thread-local arena; hot
+// loops (BvN peel rounds, the simulator controller) own a MatchingScratch
+// and call bottleneck_solve directly to keep warm-start state and zero
+// steady-state allocation under their control.
 #include "matching/bottleneck.hpp"
 
-#include <algorithm>
-
-#include "matching/hopcroft_karp.hpp"
+#include "matching/matching_engine.hpp"
 
 namespace reco {
 
-std::optional<BottleneckMatching> bottleneck_perfect_matching(const Matrix& m) {
-  // Distinct nonzero values, ascending.
-  std::vector<double> values;
-  values.reserve(static_cast<std::size_t>(m.n()) * m.n());
-  for (int i = 0; i < m.n(); ++i) {
-    for (int j = 0; j < m.n(); ++j) {
-      const double x = m.at(i, j);
-      if (!approx_zero(x)) values.push_back(x);
-    }
-  }
-  if (values.empty()) return std::nullopt;
-  std::sort(values.begin(), values.end());
-  values.erase(std::unique(values.begin(), values.end(),
-                           [](double a, double b) { return approx_eq(a, b); }),
-               values.end());
+namespace {
 
-  // A perfect matching must exist at the smallest nonzero threshold.
-  if (!has_perfect_matching_at(m, values.front())) return std::nullopt;
+MatchingScratch& tls_scratch() {
+  static thread_local MatchingScratch s;
+  return s;
+}
 
-  // Binary search for the largest threshold still admitting a perfect
-  // matching.  Invariant: feasible at values[lo], infeasible at values[hi].
-  std::size_t lo = 0;
-  std::size_t hi = values.size();
-  while (lo + 1 < hi) {
-    const std::size_t mid = (lo + hi) / 2;
-    if (has_perfect_matching_at(m, values[mid])) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-
-  const double best = values[lo];
-  const MatchingResult r = threshold_matching(m, best);
+std::optional<BottleneckMatching> from_scratch(bool ok, int n, const MatchingScratch& s) {
+  if (!ok) return std::nullopt;
   BottleneckMatching out;
-  out.bottleneck = best;
-  out.pairs.reserve(m.n());
-  for (int i = 0; i < m.n(); ++i) out.pairs.emplace_back(i, r.match_left[i]);
+  out.bottleneck = s.bottleneck;
+  out.pairs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.pairs.emplace_back(i, s.final_left[i]);
   return out;
 }
 
+}  // namespace
+
+std::optional<BottleneckMatching> bottleneck_perfect_matching(const Matrix& m) {
+  MatchingScratch& s = tls_scratch();
+  return from_scratch(bottleneck_solve(m, s), m.n(), s);
+}
+
 std::optional<BottleneckMatching> bottleneck_perfect_matching(const SupportIndex& idx) {
-  // Distinct nonzero values, ascending.  Walking the sorted support row by
-  // row visits nonzeros in the same row-major order as the dense scan, so
-  // the sorted/uniqued value ladder — and hence the binary search and the
-  // returned matching — is identical to the dense overload's.
-  std::vector<double> values;
-  values.reserve(idx.nnz());
-  for (int i = 0; i < idx.n(); ++i) {
-    for (const int j : idx.row_support(i)) values.push_back(idx.at(i, j));
-  }
-  if (values.empty()) return std::nullopt;
-  std::sort(values.begin(), values.end());
-  values.erase(std::unique(values.begin(), values.end(),
-                           [](double a, double b) { return approx_eq(a, b); }),
-               values.end());
-
-  if (!has_perfect_matching_at(idx, values.front())) return std::nullopt;
-
-  std::size_t lo = 0;
-  std::size_t hi = values.size();
-  while (lo + 1 < hi) {
-    const std::size_t mid = (lo + hi) / 2;
-    if (has_perfect_matching_at(idx, values[mid])) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-
-  const double best = values[lo];
-  const MatchingResult r = threshold_matching(idx, best);
-  BottleneckMatching out;
-  out.bottleneck = best;
-  out.pairs.reserve(idx.n());
-  for (int i = 0; i < idx.n(); ++i) out.pairs.emplace_back(i, r.match_left[i]);
-  return out;
+  MatchingScratch& s = tls_scratch();
+  return from_scratch(bottleneck_solve(idx, s), idx.n(), s);
 }
 
 }  // namespace reco

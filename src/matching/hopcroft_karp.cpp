@@ -1,71 +1,49 @@
+// Hopcroft-Karp entry points, backed by the flat-CSR iterative engine in
+// matching_engine.cpp.  The per-call adjacency-list / MatchingResult API
+// is kept for existing callers and tests; internally every variant runs
+// on a thread-local MatchingScratch, so repeated calls reuse buffers and
+// deep layered DFS cannot overflow the stack (the seed recursion could at
+// path-shaped N=512 graphs; see tests/matching/test_matching_engine.cpp).
 #include "matching/hopcroft_karp.hpp"
 
-#include <limits>
-#include <queue>
+#include <algorithm>
+
+#include "matching/matching_engine.hpp"
 
 namespace reco {
 
 namespace {
-constexpr int kInf = std::numeric_limits<int>::max();
 
-/// Layered BFS from all free left vertices; returns true if an augmenting
-/// path exists.  dist[] receives BFS layers for the DFS phase.
-bool bfs_layers(const std::vector<std::vector<int>>& adj, const std::vector<int>& match_left,
-                const std::vector<int>& match_right, std::vector<int>& dist) {
-  std::queue<int> q;
-  for (std::size_t u = 0; u < adj.size(); ++u) {
-    if (match_left[u] == -1) {
-      dist[u] = 0;
-      q.push(static_cast<int>(u));
-    } else {
-      dist[u] = kInf;
-    }
-  }
-  bool found = false;
-  while (!q.empty()) {
-    const int u = q.front();
-    q.pop();
-    for (int v : adj[u]) {
-      const int w = match_right[v];
-      if (w == -1) {
-        found = true;
-      } else if (dist[w] == kInf) {
-        dist[w] = dist[u] + 1;
-        q.push(w);
-      }
-    }
-  }
-  return found;
+/// Thread-local arena for the legacy no-scratch API.  Hot paths (BvN
+/// peeling, the simulator controller) hold their own scratch instead.
+MatchingScratch& tls_scratch() {
+  static thread_local MatchingScratch s;
+  return s;
 }
 
-bool dfs_augment(int u, const std::vector<std::vector<int>>& adj, std::vector<int>& match_left,
-                 std::vector<int>& match_right, std::vector<int>& dist) {
-  for (int v : adj[u]) {
-    const int w = match_right[v];
-    if (w == -1 || (dist[w] == dist[u] + 1 && dfs_augment(w, adj, match_left, match_right, dist))) {
-      match_left[u] = v;
-      match_right[v] = u;
-      return true;
-    }
-  }
-  dist[u] = kInf;  // dead end: prune for this phase
-  return false;
+MatchingResult run_on_scratch(MatchingScratch& s) {
+  MatchingResult r;
+  r.match_left.assign(static_cast<std::size_t>(s.n_left), -1);
+  r.match_right.assign(static_cast<std::size_t>(s.n_right), -1);
+  r.size = hk_augment_csr(s, r.match_left, r.match_right, 0.0, /*check_value=*/false);
+  return r;
 }
+
 }  // namespace
 
 MatchingResult hopcroft_karp(int n_left, int n_right, const std::vector<std::vector<int>>& adj) {
-  MatchingResult r;
-  r.match_left.assign(n_left, -1);
-  r.match_right.assign(n_right, -1);
-  std::vector<int> dist(n_left);
-  while (bfs_layers(adj, r.match_left, r.match_right, dist)) {
-    for (int u = 0; u < n_left; ++u) {
-      if (r.match_left[u] == -1) {
-        if (dfs_augment(u, adj, r.match_left, r.match_right, dist)) ++r.size;
-      }
-    }
+  MatchingScratch& s = tls_scratch();
+  s.n_left = n_left;
+  s.n_right = n_right;
+  s.csr_off.resize(static_cast<std::size_t>(n_left) + 1);
+  s.csr_col.clear();
+  s.csr_val.clear();
+  s.csr_off[0] = 0;
+  for (int u = 0; u < n_left; ++u) {
+    s.csr_col.insert(s.csr_col.end(), adj[u].begin(), adj[u].end());
+    s.csr_off[u + 1] = static_cast<int>(s.csr_col.size());
   }
-  return r;
+  return run_on_scratch(s);
 }
 
 std::vector<std::vector<int>> threshold_adjacency(const Matrix& m, double threshold) {
@@ -91,11 +69,15 @@ std::vector<std::vector<int>> threshold_adjacency(const SupportIndex& idx, doubl
 }
 
 MatchingResult threshold_matching(const Matrix& m, double threshold) {
-  return hopcroft_karp(m.n(), m.n(), threshold_adjacency(m, threshold));
+  MatchingScratch& s = tls_scratch();
+  build_csr(m, threshold, /*with_values=*/false, s);
+  return run_on_scratch(s);
 }
 
 MatchingResult threshold_matching(const SupportIndex& idx, double threshold) {
-  return hopcroft_karp(idx.n(), idx.n(), threshold_adjacency(idx, threshold));
+  MatchingScratch& s = tls_scratch();
+  build_csr(idx, threshold, /*with_values=*/false, s);
+  return run_on_scratch(s);
 }
 
 bool has_perfect_matching_at(const Matrix& m, double threshold) {

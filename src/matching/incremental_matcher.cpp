@@ -10,7 +10,10 @@ IncrementalMatcher::IncrementalMatcher(const SupportIndex& index, double thresho
       n_(index.n()),
       match_left_(index.n(), -1),
       match_right_(index.n(), -1),
-      visited_(index.n(), 0) {}
+      visited_(index.n(), 0) {
+  scratch_.stack_u.assign(static_cast<std::size_t>(n_) + 1, 0);
+  scratch_.stack_e.assign(static_cast<std::size_t>(n_) + 1, 0);
+}
 
 void IncrementalMatcher::set_threshold(double threshold) {
   const bool raised = threshold > threshold_;
@@ -30,18 +33,59 @@ bool IncrementalMatcher::try_augment(int row) {
   // Support lists are sorted ascending, so the candidate order is the same
   // as a dense j = 0..n-1 probe restricted to present edges — the matching
   // found is identical to the dense matcher's, just without touching zeros.
+  //
+  // Iterative Kuhn DFS: each frame is (row, cursor into its support list).
+  // A row enters the stack at most once per augmentation (it arrives as
+  // the match of a freshly visited column), so the shared scratch stacks
+  // of size n_ + 1 always suffice.
   const bool check_value = !support_only();
-  for (const int j : index_->row_support(row)) {
-    if (visited_[j] == stamp_) continue;
-    if (check_value && !edge_present(row, j)) continue;
-    visited_[j] = stamp_;
-    const int other = match_right_[j];
-    if (other == -1 || try_augment(other)) {
-      match_left_[row] = j;
-      match_right_[j] = row;
-      ++path_edges_cur_;
+  std::vector<int>& su = scratch_.stack_u;
+  std::vector<int>& se = scratch_.stack_e;
+  su[0] = row;
+  se[0] = 0;
+  int sp = 1;
+  while (sp > 0) {
+    const int u = su[sp - 1];
+    const auto& support = index_->row_support(u);
+    const int degree = static_cast<int>(support.size());
+    int e = se[sp - 1];
+    int found_j = -1;
+    bool descended = false;
+    for (; e < degree; ++e) {
+      const int j = support[e];
+      if (visited_[j] == stamp_) continue;
+      if (check_value && !edge_present(u, j)) continue;
+      visited_[j] = stamp_;
+      const int other = match_right_[j];
+      if (other == -1) {
+        found_j = j;
+        break;
+      }
+      se[sp - 1] = e;  // remember the edge we descend through
+      su[sp] = other;
+      se[sp] = 0;
+      ++sp;
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+    if (found_j != -1) {
+      // Success: rewire each frame to the column it is parked on.
+      int j = found_j;
+      int k = sp - 1;
+      while (true) {
+        match_left_[su[k]] = j;
+        match_right_[j] = su[k];
+        ++path_edges_cur_;
+        if (k == 0) break;
+        --k;
+        j = index_->row_support(su[k])[se[k]];
+      }
       return true;
     }
+    // Dead end: resume the parent just past the edge it descended through.
+    --sp;
+    if (sp > 0) ++se[sp - 1];
   }
   return false;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/support_index.hpp"
+#include "matching/matching_engine.hpp"
 
 namespace reco {
 
@@ -91,6 +92,10 @@ class IncrementalMatcher {
   std::vector<int> match_left_;
   std::vector<int> match_right_;
   std::vector<int> visited_;  // per-augmentation stamps (column-indexed)
+  // Shared scratch type with the bottleneck engine; augmentation uses its
+  // explicit DFS frame stacks (stack_u / stack_e), so repair paths of any
+  // depth run in constant C++ stack space.
+  MatchingScratch scratch_;
   int stamp_ = 0;
   int size_ = 0;
   AugmentStats stats_;

@@ -16,6 +16,7 @@
 #include "core/circuit.hpp"
 #include "core/matrix.hpp"
 #include "core/types.hpp"
+#include "matching/matching_engine.hpp"
 
 namespace reco::sim {
 
@@ -66,6 +67,11 @@ class AdaptiveRecoController final : public CircuitController {
 
  private:
   Time delta_;
+  // Owned matching arena: consecutive decisions re-plan against a residual
+  // that moved along one matching, so the engine warm-starts from the
+  // previous decision's matching and reuses every buffer (zero allocations
+  // in the matching layer once the simulation reaches steady state).
+  MatchingScratch scratch_;
 };
 
 }  // namespace reco::sim
