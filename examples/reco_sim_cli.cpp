@@ -13,13 +13,22 @@
 //
 // Traces come from `trace_tool gen` (reco-trace format) or, with --fb, any
 // file in the public Coflow-Benchmark format (the paper's FB2010 trace).
-// --jitter=F / --retries=P inject reconfiguration faults (single mode).
+//
+// Fault injection (single mode): --jitter=F / --retries=P (legacy timing
+// faults), --fault-trace=FILE (scripted port failures, see
+// sim/faults.hpp), --port-mtbf=S / --port-mttr=S (random port failures),
+// --setup-timeout=P / --setup-attempts=N (bounded reconfiguration
+// retries), --crosspoint-fail=P (partial setups), --fault-seed=N.  Any of
+// these runs the schedule under a RecoveringController on the
+// event-driven fabric and prints the degraded-operation accounting
+// (delivered / stranded demand, setup failures, recoveries).
 //
 // Telemetry: --trace-out=FILE writes a Chrome trace-event JSON (load in
 // Perfetto / chrome://tracing) and --metrics-out=FILE a metrics CSV;
 // either flag (or RECO_TRACE=1) turns collection on.  See
 // docs/OBSERVABILITY.md.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -89,6 +98,9 @@ int usage() {
                "usage:\n"
                "  reco_sim_cli single <trace> [--coflow=K] [--algo=A] [--delta=S]\n"
                "               [--model=all-stop|not-all-stop] [--gantt]\n"
+               "               [--jitter=F] [--retries=P] [--fault-trace=FILE]\n"
+               "               [--port-mtbf=S] [--port-mttr=S] [--setup-timeout=P]\n"
+               "               [--setup-attempts=N] [--crosspoint-fail=P] [--fault-seed=N]\n"
                "  reco_sim_cli multi  <trace> [--algo=A] [--delta=S] [--c=C] [--csv=F]\n"
                "  reco_sim_cli online <trace> [--policy=epoch|fifo] [--delta=S] [--c=C]\n"
                "  (all modes: --threads=N sizes the parallel runtime; 1 = sequential;\n"
@@ -132,21 +144,45 @@ int run_single(const Args& args, const std::vector<Coflow>& coflows) {
     return 2;
   }
 
+  const bool timing_faults = args.has("jitter") || args.has("retries") ||
+                             args.has("setup-timeout") || args.has("setup-attempts");
+  const bool port_faults = args.has("fault-trace") || args.has("port-mtbf") ||
+                           args.has("crosspoint-fail");
   ExecutionResult r;
-  if (args.has("jitter") || args.has("retries")) {
-    sim::FaultModel faults;
-    faults.jitter_fraction = args.get_double("jitter", 0.0);
-    faults.retry_probability = args.get_double("retries", 0.0);
-    sim::ReplayController controller(schedule);
-    const sim::SimulationReport rep = sim::simulate_single_coflow(controller, d, delta, faults);
+  if (timing_faults || port_faults) {
+    sim::FaultConfig config;
+    config.timing.jitter_fraction = args.get_double("jitter", 0.0);
+    config.timing.retry_probability = args.get_double("retries", 0.0);
+    config.timing.max_attempts = static_cast<int>(args.get_double("setup-attempts", 64));
+    if (args.has("fault-trace")) {
+      config.port_faults = sim::load_fault_trace(args.get("fault-trace", ""));
+    }
+    config.port_mtbf = args.get_double("port-mtbf", 0.0);
+    config.port_mttr = args.get_double("port-mttr", 0.0);
+    config.setup_timeout_probability = args.get_double("setup-timeout", 0.0);
+    config.crosspoint_failure_probability = args.get_double("crosspoint-fail", 0.0);
+    config.seed = static_cast<std::uint64_t>(args.get_double("fault-seed", 1));
+    sim::FaultInjector injector(config);
+    std::printf("fault injection: seed %llu, jitter %.0f%%, retry %.0f%%, timeout %.0f%%, "
+                "crosspoint %.0f%%, mtbf %g s, mttr %g s, %zu scripted faults "
+                "(event-driven all-stop fabric; --model ignored)\n",
+                static_cast<unsigned long long>(config.seed),
+                100 * config.timing.jitter_fraction, 100 * config.timing.retry_probability,
+                100 * config.setup_timeout_probability,
+                100 * config.crosspoint_failure_probability, config.port_mtbf,
+                config.port_mttr, config.port_faults.size());
+    sim::RecoveringController controller(schedule, delta);
+    const sim::SimulationReport rep = sim::simulate_single_coflow(controller, d, delta, injector);
     r.cct = rep.cct;
     r.transmission_time = rep.transmission_time;
     r.reconfigurations = rep.reconfigurations;
     r.satisfied = rep.satisfied;
     r.residual = Matrix(d.n());
-    std::printf("fault model: jitter %.0f%%, retry probability %.0f%% "
-                "(event-driven all-stop fabric; --model ignored)\n",
-                100 * faults.jitter_fraction, 100 * faults.retry_probability);
+    std::printf("faults: delivered %g s, stranded %g s, setups failed=%d partial=%d, "
+                "ports failed=%d repaired=%d, recoveries=%d, replans=%d, degraded %g s\n",
+                rep.delivered_demand, rep.stranded_demand, rep.setup_failures,
+                rep.partial_setups, rep.port_failures, rep.port_repairs, rep.recoveries,
+                controller.replans(), rep.degraded_time);
   } else {
     r = model == "not-all-stop" ? execute_not_all_stop(schedule, d, delta)
                                 : execute_all_stop(schedule, d, delta);

@@ -40,6 +40,7 @@
 #include "sched/sunflow.hpp"            // IWYU pragma: export
 #include "sched/tms.hpp"                // IWYU pragma: export
 #include "sim/fabric.hpp"               // IWYU pragma: export
+#include "sim/faults.hpp"               // IWYU pragma: export
 #include "sim/multi_fabric.hpp"         // IWYU pragma: export
 #include "stats/analysis.hpp"           // IWYU pragma: export
 #include "stats/csv.hpp"                // IWYU pragma: export

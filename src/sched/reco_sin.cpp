@@ -23,4 +23,36 @@ CircuitSchedule reco_sin(const Matrix& demand, Time delta, BvnPolicy policy) {
   return bvn_decompose(std::move(stuffed), policy);
 }
 
+CircuitSchedule reco_sin_surviving(const Matrix& residual, const std::vector<char>& failed_in,
+                                   const std::vector<char>& failed_out, Time delta,
+                                   BvnPolicy policy) {
+  obs::ScopedSpan span("sched.reco_sin_surviving", "sched");
+  const auto down = [](const std::vector<char>& mask, int p) {
+    return p >= 0 && p < static_cast<int>(mask.size()) && mask[p];
+  };
+  Matrix masked = residual;
+  for (int i = 0; i < masked.n(); ++i) {
+    for (int j = 0; j < masked.n(); ++j) {
+      if (down(failed_in, i) || down(failed_out, j)) masked.at(i, j) = 0.0;
+    }
+  }
+  if (obs::enabled()) {
+    span.arg("masked_demand", residual.total() - masked.total());
+  }
+  CircuitSchedule plan = reco_sin(masked, delta, policy);
+  // Stuffing may pad failed rows/columns up to the stochastic row sum;
+  // those circuits carry no demand and cannot physically latch — drop
+  // them, and drop assignments left empty.
+  CircuitSchedule pruned;
+  for (CircuitAssignment& a : plan.assignments) {
+    CircuitAssignment kept;
+    kept.duration = a.duration;
+    for (const Circuit& c : a.circuits) {
+      if (!down(failed_in, c.in) && !down(failed_out, c.out)) kept.circuits.push_back(c);
+    }
+    if (!kept.circuits.empty()) pruned.assignments.push_back(std::move(kept));
+  }
+  return pruned;
+}
+
 }  // namespace reco

@@ -10,6 +10,8 @@
 // establishment as soon as the *original* demands on it finish.
 #pragma once
 
+#include <vector>
+
 #include "bvn/bvn.hpp"
 #include "core/circuit.hpp"
 #include "core/matrix.hpp"
@@ -20,5 +22,17 @@ namespace reco {
 /// Build the Reco-Sin circuit scheduling for one coflow.
 CircuitSchedule reco_sin(const Matrix& demand, Time delta,
                          BvnPolicy policy = BvnPolicy::kMaxMinAmortized);
+
+/// Recovery planning: re-plan `residual` on the surviving ports only.
+/// Demand on a failed ingress row / egress column is masked out (it is
+/// stranded until the port is repaired), the remainder goes through the
+/// normal Reco-Sin pipeline, and circuits the stuffing stage placed on
+/// failed ports — padding, never demand — are pruned from the result, so
+/// no assignment in the returned schedule asks the fabric to light a dark
+/// port.  Empty masks (or masks shorter than the fabric) treat the
+/// unnamed ports as up.
+CircuitSchedule reco_sin_surviving(const Matrix& residual, const std::vector<char>& failed_in,
+                                   const std::vector<char>& failed_out, Time delta,
+                                   BvnPolicy policy = BvnPolicy::kMaxMinAmortized);
 
 }  // namespace reco

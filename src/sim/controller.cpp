@@ -1,10 +1,13 @@
 #include "sim/controller.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "bvn/regularization.hpp"
 #include "bvn/stuffing.hpp"
 #include "matching/hungarian.hpp"
+#include "obs/obs.hpp"
+#include "sched/reco_sin.hpp"
 
 namespace reco::sim {
 
@@ -78,6 +81,76 @@ std::optional<CircuitAssignment> AdaptiveRecoController::next_assignment(
   }
   if (a.circuits.empty()) return std::nullopt;
   return a;
+}
+
+RecoveringController::RecoveringController(std::unique_ptr<CircuitController> inner, Time delta,
+                                           BvnPolicy policy)
+    : inner_(std::move(inner)), delta_(delta), policy_(policy) {}
+
+RecoveringController::RecoveringController(CircuitSchedule initial, Time delta, BvnPolicy policy)
+    : RecoveringController(std::make_unique<ReplayController>(std::move(initial)), delta,
+                           policy) {}
+
+void RecoveringController::mark_port(PortId port, PortSide side, bool failed) {
+  const auto size = static_cast<std::size_t>(port) + 1;
+  if (failed_in_.size() < size) failed_in_.resize(size, 0);
+  if (failed_out_.size() < size) failed_out_.resize(size, 0);
+  if (side == PortSide::kIngress || side == PortSide::kBoth) failed_in_[port] = failed;
+  if (side == PortSide::kEgress || side == PortSide::kBoth) failed_out_[port] = failed;
+}
+
+void RecoveringController::on_port_failed(Time /*now*/, PortId port, PortSide side) {
+  mark_port(port, side, true);
+  degraded_ = true;
+  replan_needed_ = true;
+}
+
+void RecoveringController::on_port_repaired(Time /*now*/, PortId port, PortSide side) {
+  mark_port(port, side, false);
+  // Capacity came back: re-plan so the repaired port rejoins service.
+  replan_needed_ = true;
+}
+
+void RecoveringController::on_setup_degraded(Time /*now*/,
+                                             const CircuitAssignment& /*requested*/,
+                                             const std::vector<Circuit>& /*established*/) {
+  // A partial or failed setup broke the current plan's service matrix:
+  // whatever did not latch is still in the residual, so re-plan it.
+  degraded_ = true;
+  replan_needed_ = true;
+}
+
+std::optional<CircuitAssignment> RecoveringController::next_assignment(Time now,
+                                                                       const Matrix& residual) {
+  if (!degraded_) return inner_->next_assignment(now, residual);
+  const auto deliverable = [&]() {
+    const auto down = [](const std::vector<char>& mask, int p) {
+      return p < static_cast<int>(mask.size()) && mask[p];
+    };
+    for (int i = 0; i < residual.n(); ++i) {
+      if (down(failed_in_, i)) continue;
+      for (int j = 0; j < residual.n(); ++j) {
+        if (down(failed_out_, j)) continue;
+        if (residual.at(i, j) >= kMinServiceQuantum) return true;
+      }
+    }
+    return false;
+  };
+  // At most two planning rounds per decision: one because a fault was
+  // just observed, one because the previous plan ran dry mid-decision.
+  for (int round = 0; round < 2; ++round) {
+    if (replan_needed_ || !recovery_.has_value()) {
+      if (!deliverable()) return std::nullopt;  // rest is stranded until repair
+      recovery_.emplace(reco_sin_surviving(residual, failed_in_, failed_out_, delta_, policy_));
+      replan_needed_ = false;
+      ++replans_;
+      if (obs::enabled()) obs::metrics().counter("faults.replans").inc();
+    }
+    auto next = recovery_->next_assignment(now, residual);
+    if (next.has_value()) return next;
+    replan_needed_ = true;  // plan exhausted; residual may still hold demand
+  }
+  return std::nullopt;
 }
 
 }  // namespace reco::sim

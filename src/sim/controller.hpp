@@ -12,11 +12,14 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "bvn/bvn.hpp"
 #include "core/circuit.hpp"
 #include "core/matrix.hpp"
 #include "core/types.hpp"
 #include "matching/matching_engine.hpp"
+#include "sim/faults.hpp"
 
 namespace reco::sim {
 
@@ -29,6 +32,15 @@ class CircuitController {
   /// `now` is the simulation clock at the decision instant.
   virtual std::optional<CircuitAssignment> next_assignment(Time now,
                                                            const Matrix& residual) = 0;
+
+  /// Fault notifications from the fabric (no-ops by default, so existing
+  /// controllers are fault-oblivious and simply see their dead circuits
+  /// filtered).  `on_setup_degraded` reports a setup that came up partial
+  /// (`established` is the latched subset) or failed entirely (empty).
+  virtual void on_port_failed(Time /*now*/, PortId /*port*/, PortSide /*side*/) {}
+  virtual void on_port_repaired(Time /*now*/, PortId /*port*/, PortSide /*side*/) {}
+  virtual void on_setup_degraded(Time /*now*/, const CircuitAssignment& /*requested*/,
+                                 const std::vector<Circuit>& /*established*/) {}
 };
 
 /// Replays a precomputed schedule, skipping establishments whose circuits
@@ -72,6 +84,45 @@ class AdaptiveRecoController final : public CircuitController {
   // previous decision's matching and reuses every buffer (zero allocations
   // in the matching layer once the simulation reaches steady state).
   MatchingScratch scratch_;
+};
+
+/// Degraded-operation wrapper: delegates to an inner controller until the
+/// fabric reports a fault, then re-plans the *residual* demand on the
+/// surviving ports via Reco-Sin (`reco_sin_surviving`) and replays the
+/// recovery plan — replanning again on every further failure, repair, or
+/// degraded setup.  When every remaining flow needs a dead port it stops,
+/// so a run under permanent faults terminates with the undeliverable
+/// demand accounted as stranded instead of hanging.
+class RecoveringController final : public CircuitController {
+ public:
+  RecoveringController(std::unique_ptr<CircuitController> inner, Time delta,
+                       BvnPolicy policy = BvnPolicy::kMaxMinAmortized);
+  /// Convenience: recover over a precomputed schedule (wraps a
+  /// ReplayController).
+  RecoveringController(CircuitSchedule initial, Time delta,
+                       BvnPolicy policy = BvnPolicy::kMaxMinAmortized);
+
+  std::optional<CircuitAssignment> next_assignment(Time now, const Matrix& residual) override;
+  void on_port_failed(Time now, PortId port, PortSide side) override;
+  void on_port_repaired(Time now, PortId port, PortSide side) override;
+  void on_setup_degraded(Time now, const CircuitAssignment& requested,
+                         const std::vector<Circuit>& established) override;
+
+  /// Number of recovery plans built so far.
+  int replans() const { return replans_; }
+
+ private:
+  void mark_port(PortId port, PortSide side, bool failed);
+
+  std::unique_ptr<CircuitController> inner_;
+  Time delta_;
+  BvnPolicy policy_;
+  std::vector<char> failed_in_;
+  std::vector<char> failed_out_;
+  bool degraded_ = false;       ///< once true, the recovery planner owns the run
+  bool replan_needed_ = false;
+  std::optional<ReplayController> recovery_;
+  int replans_ = 0;
 };
 
 }  // namespace reco::sim

@@ -39,72 +39,202 @@ constexpr int kFabricTrack = -1;
 
 SimulationReport simulate_single_coflow(CircuitController& controller, const Matrix& demand,
                                         Time delta, const FaultModel& faults) {
+  FaultInjector injector(faults);
+  return simulate_single_coflow(controller, demand, delta, injector);
+}
+
+SimulationReport simulate_single_coflow(CircuitController& controller, const Matrix& demand,
+                                        Time delta, FaultInjector& injector) {
   obs::ScopedSpan span("sim.single_coflow", "sim");
   if (obs::enabled()) obs::tracer().name_sim_track(kFabricTrack, "fabric");
   SimulationReport report;
   const int n = demand.n();
   span.arg("n", n);
+  injector.bind_ports(n);
   Matrix residual = demand;
   std::vector<Time> busy_in(n, 0.0);
   std::vector<Time> busy_out(n, 0.0);
   EventQueue queue;
-  Rng fault_rng(faults.seed);
 
-  // Actual wall time of one reconfiguration under the fault model: each
-  // attempt is jittered; failed attempts (geometric) repeat in full.
-  const auto sample_setup_time = [&]() {
-    Time total = 0.0;
-    do {
-      double slowdown = 1.0;
-      if (faults.jitter_fraction > 0.0) {
-        slowdown += faults.jitter_fraction * fault_rng.uniform();
-      }
-      total += delta * slowdown;
-    } while (faults.retry_probability > 0.0 &&
-             fault_rng.uniform() < faults.retry_probability);
-    return total;
+  // Port liveness mirrors of the injector's state, maintained transition
+  // by transition so degraded time can be integrated interval-exactly.
+  std::vector<int> in_down(n, 0);
+  std::vector<int> out_down(n, 0);
+  int down_ports = 0;
+  Time degraded_mark = 0.0;
+  bool degraded = false;         ///< a fault happened; next delivery is a recovery
+  Time degraded_since = -1.0;    ///< for the recovery trace span
+  const auto circuit_live = [&](const Circuit& c) {
+    return in_down[c.in] == 0 && out_down[c.out] == 0;
   };
+
+  // Pop the injector's port transitions up to `now`: integrate degraded
+  // time, update the masks, and notify the controller.  Faults land at
+  // decision granularity — a port failing mid-hold keeps its mirror angle
+  // until the next reconfiguration (flow-level semantics).
+  const auto apply_faults = [&](Time now) {
+    for (const PortTransition& t : injector.advance_to(now)) {
+      const Time at = std::max(t.at, 0.0);
+      if (down_ports > 0 && at > degraded_mark) report.degraded_time += at - degraded_mark;
+      degraded_mark = std::max(degraded_mark, at);
+      const int d = t.up ? -1 : 1;
+      const bool was_down = in_down[t.port] > 0 || out_down[t.port] > 0;
+      if (t.side == PortSide::kIngress || t.side == PortSide::kBoth) {
+        in_down[t.port] = std::max(0, in_down[t.port] + d);
+      }
+      if (t.side == PortSide::kEgress || t.side == PortSide::kBoth) {
+        out_down[t.port] = std::max(0, out_down[t.port] + d);
+      }
+      const bool now_down = in_down[t.port] > 0 || out_down[t.port] > 0;
+      if (!was_down && now_down) ++down_ports;
+      if (was_down && !now_down) --down_ports;
+      if (t.up) {
+        ++report.port_repairs;
+        if (obs::enabled()) {
+          obs::metrics().counter("faults.port_repairs").inc();
+          obs::tracer().sim_instant("port.repair", "sim.fault", at, kFabricTrack,
+                                    {{"port", static_cast<double>(t.port)}});
+        }
+        controller.on_port_repaired(at, t.port, t.side);
+      } else {
+        ++report.port_failures;
+        degraded = true;
+        if (degraded_since < 0.0) degraded_since = at;
+        if (obs::enabled()) {
+          obs::metrics().counter("faults.port_failures").inc();
+          obs::tracer().sim_instant("port.fail", "sim.fault", at, kFabricTrack,
+                                    {{"port", static_cast<double>(t.port)}});
+        }
+        controller.on_port_failed(at, t.port, t.side);
+      }
+    }
+    if (down_ports > 0 && now > degraded_mark) report.degraded_time += now - degraded_mark;
+    degraded_mark = std::max(degraded_mark, now);
+  };
+
+  // Terminal guard: a controller that keeps proposing establishments the
+  // fabric cannot use (dead ports, drained circuits) must not spin.  After
+  // kUselessLimit fruitless decisions we either jump to the next fault
+  // transition (a repair may unblock the controller) or, with nothing
+  // pending, end the run with the residual accounted as stranded.
+  constexpr int kUselessLimit = 8;
+  int useless_streak = 0;
 
   // The decision loop is expressed as a self-scheduling chain of events:
   // decide -> (reconfigure delta) -> circuits up -> (hold) -> drained ->
   // decide...  `decide` is a named lambda stored so events can re-enter it.
   std::function<void()> decide = [&]() {
-    const auto next = controller.next_assignment(queue.now(), residual);
-    if (!next.has_value()) return;  // controller done: queue drains, sim ends
+    const Time now = queue.now();
+    apply_faults(now);
+    const auto next = controller.next_assignment(now, residual);
+    if (!next.has_value()) {
+      // Controller stopped.  If deliverable-later demand remains and a
+      // repair is pending, idle until the repair and ask again; otherwise
+      // the queue drains and the sim ends (leftovers become stranded).
+      if (residual.max_entry() >= kMinServiceQuantum) {
+        if (const auto repair = injector.next_repair();
+            repair.has_value() && *repair > now + kTimeEps) {
+          queue.schedule(*repair, decide);
+        }
+      }
+      return;
+    }
 
-    // Ignore establishments with nothing useful to send (no delta charged).
+    // Keep only circuits on live ports; ignore establishments with nothing
+    // useful to send (no delta charged).
+    const CircuitAssignment assignment = *next;
+    std::vector<Circuit> live;
+    live.reserve(assignment.circuits.size());
     Time max_rem = 0.0;
-    for (const Circuit& c : next->circuits) {
+    for (const Circuit& c : assignment.circuits) {
+      if (!circuit_live(c)) continue;
+      live.push_back(c);
       const Time rem = residual.at(c.in, c.out);
       if (rem >= kMinServiceQuantum) max_rem = std::max(max_rem, rem);
     }
     if (max_rem == 0.0) {
-      queue.schedule(queue.now(), decide);  // ask again immediately
+      if (++useless_streak >= kUselessLimit) {
+        useless_streak = 0;
+        if (const auto t = injector.next_transition();
+            t.has_value() && *t > now + kTimeEps) {
+          queue.schedule(*t, decide);
+        }
+        return;  // nothing will change: terminate with stranded accounting
+      }
+      queue.schedule(now, decide);  // ask again immediately
       return;
     }
+    useless_streak = 0;
 
-    const CircuitAssignment assignment = *next;
-    const Time hold = std::min(assignment.duration, max_rem);
-    const Time setup = sample_setup_time();
+    SetupOutcome outcome = injector.sample_setup(delta, live);
     ++report.reconfigurations;
-    report.reconfiguration_time += setup;
+    report.reconfiguration_time += outcome.setup_time;
+    if (obs::enabled()) {
+      obs::metrics().counter("faults.setup_attempts").inc(outcome.attempts);
+    }
+    if (!outcome.established) {
+      // Attempt budget exhausted: the setup failed — account and move on
+      // rather than looping (the time was still burned).
+      ++report.setup_failures;
+      degraded = true;
+      if (degraded_since < 0.0) degraded_since = now;
+      if (obs::enabled()) {
+        obs::metrics().counter("faults.setup_failures").inc();
+        obs::tracer().sim_instant("setup.failed", "sim.fault", now + outcome.setup_time,
+                                  kFabricTrack,
+                                  {{"attempts", static_cast<double>(outcome.attempts)}});
+      }
+      controller.on_setup_degraded(now + outcome.setup_time, assignment, {});
+      queue.schedule(now + outcome.setup_time, decide);
+      return;
+    }
+    if (outcome.established_circuits.size() < live.size()) {
+      ++report.partial_setups;
+      degraded = true;
+      if (degraded_since < 0.0) degraded_since = now;
+      if (obs::enabled()) {
+        obs::metrics().counter("faults.partial_setups").inc();
+        obs::tracer().sim_instant(
+            "setup.partial", "sim.fault", now + outcome.setup_time, kFabricTrack,
+            {{"requested", static_cast<double>(live.size())},
+             {"established", static_cast<double>(outcome.established_circuits.size())}});
+      }
+      controller.on_setup_degraded(now + outcome.setup_time, assignment,
+                                   outcome.established_circuits);
+    }
+    // Hold until the largest residual among what actually latched drains.
+    Time est_rem = 0.0;
+    for (const Circuit& c : outcome.established_circuits) {
+      const Time rem = residual.at(c.in, c.out);
+      if (rem >= kMinServiceQuantum) est_rem = std::max(est_rem, rem);
+    }
+    if (est_rem == 0.0) {
+      // Every useful crosspoint failed to latch: time is spent, re-decide.
+      queue.schedule(now + outcome.setup_time, decide);
+      return;
+    }
+    const Time hold = std::min(assignment.duration, est_rem);
+    const std::vector<Circuit> circuits = std::move(outcome.established_circuits);
 
-    queue.schedule(queue.now() + setup, [&, assignment, hold]() {
+    queue.schedule(now + outcome.setup_time, [&, circuits, hold]() {
       const Time start = queue.now();
       report.transmission_time += hold;
       if (obs::enabled()) {
         obs::tracer().sim_instant("circuit.establish", "sim.circuit", start, kFabricTrack,
-                                  {{"circuits", static_cast<double>(assignment.circuits.size())}});
+                                  {{"circuits", static_cast<double>(circuits.size())}});
         obs::tracer().sim_span("hold", "sim.circuit", start, start + hold, kFabricTrack,
-                               {{"circuits", static_cast<double>(assignment.circuits.size())}});
+                               {{"circuits", static_cast<double>(circuits.size())}});
       }
-      for (const Circuit& c : assignment.circuits) {
+      Time delivered_this_hold = 0.0;
+      for (const Circuit& c : circuits) {
         const Time rem = residual.at(c.in, c.out);
         const Time sent = std::min(hold, rem);
         if (approx_zero(sent)) continue;
         residual.at(c.in, c.out) = clamp_zero(rem - sent);
         busy_in[c.in] += sent;
         busy_out[c.out] += sent;
+        report.delivered_demand += sent;
+        delivered_this_hold += sent;
         if (residual.at(c.in, c.out) < kMinServiceQuantum) {
           report.completions.push_back({c, start + sent});
           if (obs::enabled()) {
@@ -113,6 +243,19 @@ SimulationReport simulate_single_coflow(CircuitController& controller, const Mat
                                        {"out", static_cast<double>(c.out)}});
           }
         }
+      }
+      if (degraded && delivered_this_hold > 0.0) {
+        // Useful service resumed after a fault: one recovery.
+        ++report.recoveries;
+        degraded = false;
+        if (obs::enabled()) {
+          obs::metrics().counter("faults.recoveries").inc();
+          if (degraded_since >= 0.0) {
+            obs::tracer().sim_span("recovery", "sim.fault", degraded_since, start,
+                                   kFabricTrack);
+          }
+        }
+        degraded_since = -1.0;
       }
       if (obs::enabled()) {
         obs::tracer().sim_instant("circuit.teardown", "sim.circuit", start + hold, kFabricTrack);
@@ -129,7 +272,11 @@ SimulationReport simulate_single_coflow(CircuitController& controller, const Mat
               return a.completed_at < b.completed_at;
             });
   report.cct = queue.now();
+  if (down_ports > 0 && report.cct > degraded_mark) {
+    report.degraded_time += report.cct - degraded_mark;
+  }
   report.satisfied = residual.max_entry() < kMinServiceQuantum;
+  report.stranded_demand = residual.total();
   report.avg_port_utilization = utilization(busy_in, busy_out, report.cct);
   report.events = queue.events_processed();
   if (obs::enabled()) {
@@ -137,6 +284,8 @@ SimulationReport simulate_single_coflow(CircuitController& controller, const Mat
     obs::metrics().counter("sim.reconfiguration_time").inc(report.reconfiguration_time);
     obs::metrics().counter("sim.transmission_time").inc(report.transmission_time);
     obs::metrics().counter("sim.events").inc(static_cast<double>(report.events));
+    obs::metrics().counter("faults.stranded_demand").inc(report.stranded_demand);
+    obs::metrics().counter("faults.degraded_time").inc(report.degraded_time);
     span.arg("reconfigurations", report.reconfigurations);
     span.arg("events", static_cast<double>(report.events));
   }
@@ -144,10 +293,13 @@ SimulationReport simulate_single_coflow(CircuitController& controller, const Mat
 }
 
 SimulationReport simulate_not_all_stop_replay(const CircuitSchedule& schedule,
-                                              const Matrix& demand, Time delta) {
+                                              const Matrix& demand, Time delta,
+                                              const FaultModel& faults) {
   obs::ScopedSpan span("sim.not_all_stop_replay", "sim");
+  FaultInjector injector(faults);  // validates; default = ideal switch
   SimulationReport report;
   const int n = demand.n();
+  injector.bind_ports(n);
   Matrix residual = demand;
   std::vector<Time> busy_in(n, 0.0);
   std::vector<Time> busy_out(n, 0.0);
@@ -161,6 +313,7 @@ SimulationReport simulate_not_all_stop_replay(const CircuitSchedule& schedule,
   // Per-circuit timing is decided up front (ports are independent in the
   // not-all-stop model); the event queue then realizes drains in global
   // time order so completions come out chronologically sorted by nature.
+  // Setup faults are sampled in this same deterministic circuit order.
   for (const CircuitAssignment& a : schedule.assignments) {
     for (const Circuit& c : a.circuits) {
       const Time rem = residual.at(c.in, c.out);
@@ -168,14 +321,25 @@ SimulationReport simulate_not_all_stop_replay(const CircuitSchedule& schedule,
       Time ready = std::max(free_in[c.in], free_out[c.out]);
       const bool changed = peer_of_in[c.in] != c.out || peer_of_out[c.out] != c.in;
       if (changed) {
-        ready += delta;
+        const SetupOutcome outcome = injector.sample_setup(delta, {});
         ++report.reconfigurations;
-        report.reconfiguration_time += delta;
+        report.reconfiguration_time += outcome.setup_time;
+        if (!outcome.established) {
+          // Setup budget exhausted: the circuit never comes up.  The ports
+          // burn the attempt time and keep their previous peers.
+          ++report.setup_failures;
+          free_in[c.in] = std::max(free_in[c.in], ready + outcome.setup_time);
+          free_out[c.out] = std::max(free_out[c.out], ready + outcome.setup_time);
+          if (obs::enabled()) obs::metrics().counter("faults.setup_failures").inc();
+          continue;
+        }
+        ready += outcome.setup_time;
       }
       const Time hold = std::min(a.duration, rem);
       const Time end = ready + hold;
       residual.at(c.in, c.out) = clamp_zero(rem - hold);
       report.transmission_time += hold;
+      report.delivered_demand += hold;
       busy_in[c.in] += hold;
       busy_out[c.out] += hold;
       free_in[c.in] = end;
@@ -197,6 +361,7 @@ SimulationReport simulate_not_all_stop_replay(const CircuitSchedule& schedule,
 
   report.cct = cct;
   report.satisfied = residual.max_entry() < kMinServiceQuantum;
+  report.stranded_demand = residual.total();
   report.avg_port_utilization = utilization(busy_in, busy_out, report.cct);
   report.events = queue.events_processed();
   if (obs::enabled()) {

@@ -18,6 +18,7 @@
 #include "core/slice.hpp"
 #include "core/types.hpp"
 #include "sim/controller.hpp"
+#include "sim/faults.hpp"
 
 namespace reco::sim {
 
@@ -37,27 +38,36 @@ struct SimulationReport {
   /// Mean over *active* ports of (port transmit-busy time / cct).
   double avg_port_utilization = 0.0;
   std::uint64_t events = 0;
-};
 
-/// Fault model for reconfigurations (MEMS mirrors are not metronomes):
-/// every reconfiguration takes delta * (1 + U[0, jitter_fraction]), and
-/// with probability retry_probability it fails and must be repeated
-/// (geometrically).  The defaults reproduce the ideal fixed-delta switch.
-struct FaultModel {
-  double jitter_fraction = 0.0;     ///< worst-case slowdown per setup
-  double retry_probability = 0.0;   ///< P(one setup attempt fails)
-  std::uint64_t seed = 1;           ///< deterministic fault stream
+  // Degraded-operation accounting (all zero on an ideal run).  The
+  // conservation invariant `delivered_demand + stranded_demand ==
+  // demand.total()` holds under any fault configuration.
+  Time delivered_demand = 0.0;  ///< volume actually transmitted
+  Time stranded_demand = 0.0;   ///< residual left at termination
+  int setup_failures = 0;       ///< setups that exhausted the attempt budget
+  int partial_setups = 0;       ///< setups that latched only a subset
+  int recoveries = 0;           ///< degraded -> useful-service transitions
+  int port_failures = 0;
+  int port_repairs = 0;
+  Time degraded_time = 0.0;     ///< sim time with >= 1 port down (up to cct)
 };
 
 /// Run one coflow on an all-stop OCS under `controller` until the
-/// controller stops or the demand drains.
+/// controller stops or the demand drains.  The FaultModel overload is the
+/// legacy timing-only policy; the FaultInjector overload adds port
+/// failures, partial setups, and bounded setup retries (see sim/faults.hpp).
 SimulationReport simulate_single_coflow(CircuitController& controller, const Matrix& demand,
                                         Time delta, const FaultModel& faults = {});
+SimulationReport simulate_single_coflow(CircuitController& controller, const Matrix& demand,
+                                        Time delta, FaultInjector& injector);
 
 /// Event-driven replay of a precomputed schedule on a not-all-stop OCS
 /// (per-port reconfiguration; unchanged circuits keep transmitting).
+/// Accepts the same timing fault model as the all-stop path so the two are
+/// symmetric; the default is the ideal switch.
 SimulationReport simulate_not_all_stop_replay(const CircuitSchedule& schedule,
-                                              const Matrix& demand, Time delta);
+                                              const Matrix& demand, Time delta,
+                                              const FaultModel& faults = {});
 
 /// Multi-coflow slice replay with runtime port-constraint enforcement.
 struct SliceReplayReport {

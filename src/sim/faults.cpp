@@ -1,0 +1,306 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace reco::sim {
+
+namespace {
+
+bool bad_probability(double p) { return !(p >= 0.0) || !(p <= 1.0); }
+
+/// Exponential with mean `mean` from one uniform draw.
+Time exponential(Rng& rng, double mean) {
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+PortSide parse_side(const std::string& token) {
+  if (token == "in" || token == "ingress") return PortSide::kIngress;
+  if (token == "out" || token == "egress") return PortSide::kEgress;
+  if (token == "both") return PortSide::kBoth;
+  throw std::runtime_error("unknown side '" + token + "' (expected in|out|both)");
+}
+
+}  // namespace
+
+void validate_fault_model(const FaultModel& model) {
+  if (!(model.jitter_fraction >= 0.0) || !std::isfinite(model.jitter_fraction)) {
+    throw std::invalid_argument("FaultModel: jitter_fraction must be finite and >= 0, got " +
+                                std::to_string(model.jitter_fraction));
+  }
+  if (!(model.retry_probability >= 0.0) || model.retry_probability >= 1.0) {
+    throw std::invalid_argument(
+        "FaultModel: retry_probability must be in [0, 1) (>= 1 retries forever), got " +
+        std::to_string(model.retry_probability));
+  }
+  if (model.max_attempts < 1) {
+    throw std::invalid_argument("FaultModel: max_attempts must be >= 1, got " +
+                                std::to_string(model.max_attempts));
+  }
+}
+
+void validate_fault_config(const FaultConfig& config) {
+  validate_fault_model(config.timing);
+  if (bad_probability(config.setup_timeout_probability)) {
+    throw std::invalid_argument("FaultConfig: setup_timeout_probability must be in [0, 1]");
+  }
+  if (bad_probability(config.crosspoint_failure_probability)) {
+    throw std::invalid_argument("FaultConfig: crosspoint_failure_probability must be in [0, 1]");
+  }
+  if (!(config.port_mtbf >= 0.0) || !std::isfinite(config.port_mtbf)) {
+    throw std::invalid_argument("FaultConfig: port_mtbf must be finite and >= 0");
+  }
+  if (!(config.port_mttr >= 0.0) || !std::isfinite(config.port_mttr)) {
+    throw std::invalid_argument("FaultConfig: port_mttr must be finite and >= 0");
+  }
+  if (!(config.backoff_factor >= 1.0) || !std::isfinite(config.backoff_factor)) {
+    throw std::invalid_argument("FaultConfig: backoff_factor must be >= 1");
+  }
+  if (!(config.backoff_cap >= 1.0) || !std::isfinite(config.backoff_cap)) {
+    throw std::invalid_argument("FaultConfig: backoff_cap must be >= 1");
+  }
+  for (const PortFault& f : config.port_faults) {
+    if (!std::isfinite(f.at) || f.at < 0.0) {
+      throw std::invalid_argument("FaultConfig: port fault time must be finite and >= 0");
+    }
+    if (f.port < 0) {
+      throw std::invalid_argument("FaultConfig: port fault references negative port " +
+                                  std::to_string(f.port));
+    }
+    if (f.repair_after >= 0.0 && !std::isfinite(f.repair_after)) {
+      throw std::invalid_argument("FaultConfig: port fault repair delay must be finite");
+    }
+  }
+}
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config)),
+      setup_rng_(config_.seed),
+      // Independent stream for the port process so adding port faults never
+      // shifts the setup timing stream (and vice versa).
+      port_rng_(config_.seed ^ 0x9e3779b97f4a7c15ull) {
+  validate_fault_config(config_);
+}
+
+namespace {
+FaultConfig legacy_config(const FaultModel& legacy) {
+  FaultConfig config;
+  config.timing = legacy;
+  config.seed = legacy.seed;  // the historical FaultModel seed is the stream
+  return config;
+}
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultModel& legacy) : FaultInjector(legacy_config(legacy)) {}
+
+void FaultInjector::push_fault(const PortFault& fault) {
+  Pending down;
+  down.t = {fault.at, fault.port, fault.side, /*up=*/false};
+  down.seq = next_seq_++;
+  pending_.push_back(down);
+  if (fault.repair_after >= 0.0) {
+    Pending up;
+    up.t = {fault.at + fault.repair_after, fault.port, fault.side, /*up=*/true};
+    up.seq = next_seq_++;
+    pending_.push_back(up);
+  }
+}
+
+void FaultInjector::bind_ports(int num_ports) {
+  if (bound_) return;
+  bound_ = true;
+  num_ports_ = num_ports;
+  ingress_down_.assign(num_ports, 0);
+  egress_down_.assign(num_ports, 0);
+  for (const PortFault& f : config_.port_faults) {
+    if (f.port >= num_ports) {
+      throw std::invalid_argument("fault trace references port " + std::to_string(f.port) +
+                                  " of a " + std::to_string(num_ports) + "-port fabric");
+    }
+    push_fault(f);
+  }
+  if (config_.port_mtbf > 0.0) {
+    for (PortId p = 0; p < num_ports; ++p) {
+      Pending down;
+      down.t = {exponential(port_rng_, config_.port_mtbf), p, PortSide::kBoth, /*up=*/false};
+      down.seq = next_seq_++;
+      down.random = true;
+      pending_.push_back(down);
+    }
+  }
+  std::sort(pending_.begin(), pending_.end(), [](const Pending& a, const Pending& b) {
+    return a.t.at != b.t.at ? a.t.at < b.t.at : a.seq < b.seq;
+  });
+}
+
+void FaultInjector::apply(const PortTransition& t) {
+  const int d = t.up ? -1 : 1;
+  const bool was_down = ingress_down_[t.port] > 0 || egress_down_[t.port] > 0;
+  if (t.side == PortSide::kIngress || t.side == PortSide::kBoth) {
+    ingress_down_[t.port] = std::max(0, ingress_down_[t.port] + d);
+  }
+  if (t.side == PortSide::kEgress || t.side == PortSide::kBoth) {
+    egress_down_[t.port] = std::max(0, egress_down_[t.port] + d);
+  }
+  const bool now_down = ingress_down_[t.port] > 0 || egress_down_[t.port] > 0;
+  if (!was_down && now_down) ++ports_down_;
+  if (was_down && !now_down) --ports_down_;
+}
+
+std::vector<PortTransition> FaultInjector::advance_to(Time now) {
+  std::vector<PortTransition> out;
+  while (!pending_.empty() && pending_.front().t.at <= now + kTimeEps) {
+    const Pending p = pending_.front();
+    pending_.erase(pending_.begin());
+    apply(p.t);
+    out.push_back(p.t);
+    if (p.random) {
+      // Continue the port's renewal process: failure -> repair (if MTTR is
+      // configured) -> next failure.  Streams stay in pop order, which is
+      // deterministic by (time, seq).
+      Pending next;
+      next.seq = next_seq_++;
+      next.random = true;
+      if (!p.t.up && config_.port_mttr > 0.0) {
+        next.t = {p.t.at + exponential(port_rng_, config_.port_mttr), p.t.port, p.t.side,
+                  /*up=*/true};
+      } else if (p.t.up) {
+        next.t = {p.t.at + exponential(port_rng_, config_.port_mtbf), p.t.port, p.t.side,
+                  /*up=*/false};
+      } else {
+        continue;  // permanent random failure: the process for this port ends
+      }
+      const auto pos = std::upper_bound(
+          pending_.begin(), pending_.end(), next, [](const Pending& a, const Pending& b) {
+            return a.t.at != b.t.at ? a.t.at < b.t.at : a.seq < b.seq;
+          });
+      pending_.insert(pos, next);
+    }
+  }
+  return out;
+}
+
+std::optional<Time> FaultInjector::next_transition() const {
+  if (pending_.empty()) return std::nullopt;
+  return pending_.front().t.at;
+}
+
+std::optional<Time> FaultInjector::next_repair() const {
+  for (const Pending& p : pending_) {
+    if (p.t.up) return p.t.at;
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::ingress_up(PortId port) const {
+  if (port < 0 || port >= static_cast<PortId>(ingress_down_.size())) return true;
+  return ingress_down_[port] == 0;
+}
+
+bool FaultInjector::egress_up(PortId port) const {
+  if (port < 0 || port >= static_cast<PortId>(egress_down_.size())) return true;
+  return egress_down_[port] == 0;
+}
+
+SetupOutcome FaultInjector::sample_setup(Time delta, const std::vector<Circuit>& requested) {
+  SetupOutcome out;
+  const FaultModel& timing = config_.timing;
+  out.attempts = 0;
+  while (true) {
+    ++out.attempts;
+    // Draw order matches the legacy sampler exactly (jitter, then retry)
+    // so timing-only configs replay the historical fault stream bit for
+    // bit; the timeout draw sits between them but costs nothing when off.
+    double slowdown = 1.0;
+    if (timing.jitter_fraction > 0.0) {
+      slowdown += timing.jitter_fraction * setup_rng_.uniform();
+    }
+    out.setup_time += delta * slowdown;
+    bool timed_out = false;
+    if (config_.setup_timeout_probability > 0.0 &&
+        setup_rng_.uniform() < config_.setup_timeout_probability) {
+      timed_out = true;
+    }
+    bool retry = false;
+    if (timing.retry_probability > 0.0 && setup_rng_.uniform() < timing.retry_probability) {
+      retry = true;
+    }
+    if (!timed_out && !retry) break;
+    if (out.attempts >= timing.max_attempts) {
+      out.established = false;  // budget exhausted: failed, not looping
+      return out;
+    }
+    if (timed_out) {
+      // Bounded exponential backoff before the next attempt.  Legacy
+      // geometric retries repeat immediately (historical semantics).
+      const double k = std::min(std::pow(config_.backoff_factor, out.attempts - 1),
+                                config_.backoff_cap);
+      out.setup_time += delta * k;
+    }
+  }
+  out.established = true;
+  if (config_.crosspoint_failure_probability > 0.0) {
+    for (const Circuit& c : requested) {
+      if (setup_rng_.uniform() < config_.crosspoint_failure_probability) {
+        out.failed_circuits.push_back(c);
+      } else {
+        out.established_circuits.push_back(c);
+      }
+    }
+  } else {
+    out.established_circuits = requested;
+  }
+  return out;
+}
+
+std::vector<PortFault> parse_fault_trace(std::istream& in) {
+  std::vector<PortFault> faults;
+  std::string line;
+  int line_no = 0;
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error("fault trace line " + std::to_string(line_no) + ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    PortFault f;
+    std::string side;
+    std::string repair;
+    if (!(ls >> f.at >> f.port >> side >> repair)) {
+      fail("expected '<time_s> <port> <in|out|both> <repair_s|never>'");
+    }
+    if (!std::isfinite(f.at) || f.at < 0.0) fail("fault time must be finite and >= 0");
+    if (f.port < 0) fail("port must be >= 0");
+    try {
+      f.side = parse_side(side);
+    } catch (const std::runtime_error& e) {
+      fail(e.what());
+    }
+    if (repair == "never" || repair == "-") {
+      f.repair_after = -1.0;
+    } else {
+      std::istringstream rs(repair);
+      if (!(rs >> f.repair_after) || !(rs >> std::ws).eof() ||
+          !std::isfinite(f.repair_after) || f.repair_after < 0.0) {
+        fail("repair delay must be a finite non-negative number or 'never'");
+      }
+    }
+    std::string extra;
+    if (ls >> extra) fail("trailing token '" + extra + "'");
+    faults.push_back(f);
+  }
+  return faults;
+}
+
+std::vector<PortFault> load_fault_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_fault_trace: cannot open " + path);
+  return parse_fault_trace(in);
+}
+
+}  // namespace reco::sim

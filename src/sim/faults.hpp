@@ -1,0 +1,199 @@
+// Fault injection for the event-driven OCS: port failures, partial
+// circuit setups, and bounded reconfiguration retries, all behind one
+// deterministic seeded FaultInjector.
+//
+// The legacy timing-only FaultModel (jitter + geometric retry) is one
+// policy among several here: a FaultConfig composes
+//  * scripted *port faults* (a fault trace: port p goes down at time t,
+//    optionally repaired after a delay) and random ones (per-port MTBF /
+//    MTTR exponential processes),
+//  * *setup faults* — individual crosspoints of a requested matching fail
+//    to latch (the circuit comes up partial) and whole reconfiguration
+//    attempts time out, retried under bounded exponential backoff; when
+//    the attempt budget is exhausted the setup is *failed*, never looped,
+//  * the legacy jitter / geometric-retry timing model, now with a hard
+//    attempt cap and validated parameters.
+//
+// Determinism: every random stream derives from FaultConfig::seed alone
+// and is consumed in simulation-event order, so a (config, workload) pair
+// replays the identical fault timeline at any RECO_THREADS setting.  The
+// default FaultConfig (and default FaultModel) draws nothing and
+// reproduces the ideal fixed-delta switch bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/circuit.hpp"
+#include "core/types.hpp"
+#include "trace/rng.hpp"
+
+namespace reco::sim {
+
+/// Fault model for reconfigurations (MEMS mirrors are not metronomes):
+/// every reconfiguration takes delta * (1 + U[0, jitter_fraction]), and
+/// with probability retry_probability it fails and must be repeated
+/// (geometrically, capped at max_attempts).  The defaults reproduce the
+/// ideal fixed-delta switch.
+struct FaultModel {
+  double jitter_fraction = 0.0;     ///< worst-case slowdown per setup
+  double retry_probability = 0.0;   ///< P(one setup attempt fails)
+  std::uint64_t seed = 1;           ///< deterministic fault stream
+  /// Hard cap on attempts per setup; exhausting it marks the setup failed
+  /// instead of looping (the pre-cap code could spin forever at p >= 1).
+  int max_attempts = 64;
+};
+
+/// Throws std::invalid_argument on out-of-range parameters: negative
+/// jitter, retry_probability outside [0, 1), max_attempts < 1.
+void validate_fault_model(const FaultModel& model);
+
+/// Which side of the fabric a port fault hits.
+enum class PortSide : std::uint8_t { kIngress, kEgress, kBoth };
+
+/// One scripted port fault: at `at`, `port` (on `side`) goes dark; it is
+/// repaired `repair_after` seconds later, or never if repair_after < 0.
+struct PortFault {
+  Time at = 0.0;
+  PortId port = 0;
+  PortSide side = PortSide::kBoth;
+  Time repair_after = -1.0;  ///< < 0: permanent
+};
+
+/// Full fault-injection configuration.  Everything defaults to "off"; the
+/// default config is the ideal switch.
+struct FaultConfig {
+  /// Legacy timing faults (validated on construction of the injector).
+  FaultModel timing;
+
+  /// Scripted port faults (see parse_fault_trace for the text format).
+  std::vector<PortFault> port_faults;
+
+  /// Random port failures: mean time between failures per port (seconds
+  /// of simulated time; 0 disables) and mean time to repair (0 = every
+  /// random failure is permanent).  Both processes are exponential.
+  double port_mtbf = 0.0;
+  double port_mttr = 0.0;
+
+  /// P(one reconfiguration attempt times out entirely).  Timed-out
+  /// attempts retry after an exponential backoff: attempt k waits
+  /// delta * min(backoff_factor^(k-1), backoff_cap) before retrying.
+  double setup_timeout_probability = 0.0;
+  double backoff_factor = 2.0;
+  double backoff_cap = 32.0;  ///< cap on the backoff multiple of delta
+
+  /// P(one crosspoint of an otherwise successful setup fails to latch):
+  /// the circuit comes up partial; unlatched circuits carry no traffic.
+  double crosspoint_failure_probability = 0.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// Throws std::invalid_argument on out-of-range parameters (probabilities
+/// outside their domain, negative times, backoff_factor < 1, ...).
+void validate_fault_config(const FaultConfig& config);
+
+/// One port state change, reported to the fabric in time order.
+struct PortTransition {
+  Time at = 0.0;
+  PortId port = 0;
+  PortSide side = PortSide::kBoth;
+  bool up = false;  ///< true: repair; false: failure
+};
+
+/// Outcome of one circuit establishment under the fault model.
+struct SetupOutcome {
+  Time setup_time = 0.0;  ///< total wall time: attempts + backoff waits
+  int attempts = 1;
+  bool established = false;  ///< false: attempt budget exhausted
+  std::vector<Circuit> established_circuits;  ///< latched subset
+  std::vector<Circuit> failed_circuits;       ///< requested minus latched
+};
+
+/// Deterministic fault source consumed by the simulators.  One injector
+/// drives one run; its streams advance with the simulation clock.
+class FaultInjector {
+ public:
+  /// Ideal switch: no faults, no random draws.
+  FaultInjector() : FaultInjector(FaultConfig{}) {}
+
+  /// Validates `config` (throws std::invalid_argument on bad parameters).
+  explicit FaultInjector(FaultConfig config);
+
+  /// Legacy policy: the timing-only FaultModel, validated.
+  explicit FaultInjector(const FaultModel& legacy);
+
+  /// Bind the injector to an n-port fabric: materializes the random port
+  /// failure streams and checks scripted faults against the port range.
+  /// Called by the simulators at start; idempotent (first call wins).
+  void bind_ports(int num_ports);
+
+  /// Pop every port transition with `at <= now`, in time order, updating
+  /// the up/down state.  The fabric applies these to its masks and
+  /// notifies the controller.
+  std::vector<PortTransition> advance_to(Time now);
+
+  /// Earliest pending transition of any kind / of repairs only.
+  std::optional<Time> next_transition() const;
+  std::optional<Time> next_repair() const;
+
+  /// Current port state (after the last advance_to).
+  bool ingress_up(PortId port) const;
+  bool egress_up(PortId port) const;
+  bool circuit_ports_up(const Circuit& c) const {
+    return ingress_up(c.in) && egress_up(c.out);
+  }
+  int ports_down() const { return ports_down_; }
+
+  /// Sample one establishment of `requested` taking nominal time `delta`.
+  /// Consumes: per attempt, one jitter draw (iff jitter_fraction > 0), one
+  /// timeout draw (iff setup_timeout_probability > 0), one legacy retry
+  /// draw (iff retry_probability > 0); on success one draw per requested
+  /// circuit (iff crosspoint_failure_probability > 0) — so the default
+  /// config consumes nothing and returns exactly delta.
+  SetupOutcome sample_setup(Time delta, const std::vector<Circuit>& requested);
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  void push_fault(const PortFault& fault);
+  void apply(const PortTransition& t);
+
+  FaultConfig config_;
+  Rng setup_rng_;
+  Rng port_rng_;
+  int num_ports_ = 0;
+  bool bound_ = false;
+  // Pending transitions, kept sorted by (at, seq) — fault counts are tens
+  // to thousands per run, a sorted vector beats a heap's constant here.
+  struct Pending {
+    PortTransition t;
+    std::uint64_t seq = 0;
+    bool random = false;  ///< from the MTBF process (reseeds on repair)
+  };
+  std::vector<Pending> pending_;
+  std::uint64_t next_seq_ = 0;
+  // Down-counters instead of booleans: overlapping scripted faults on the
+  // same port stack, and the port is up only when every fault cleared.
+  std::vector<int> ingress_down_;
+  std::vector<int> egress_down_;
+  int ports_down_ = 0;
+};
+
+/// Parse a scripted fault trace, one fault per line:
+///
+///   # comment / blank lines ignored
+///   <time_s> <port> <in|out|both> <repair_delay_s | never>
+///
+/// Throws std::runtime_error naming the offending line on malformed input
+/// (bad numbers, NaN/negative times, negative ports).
+std::vector<PortFault> parse_fault_trace(std::istream& in);
+
+/// File wrapper for parse_fault_trace.
+std::vector<PortFault> load_fault_trace(const std::string& path);
+
+}  // namespace reco::sim

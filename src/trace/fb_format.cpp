@@ -1,9 +1,11 @@
 #include "trace/fb_format.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "trace/line_reader.hpp"
 #include "trace/rng.hpp"
 
 namespace reco {
@@ -15,30 +17,50 @@ Time megabytes_to_seconds(double megabytes, double link_gbps) {
 
 std::vector<Coflow> read_fb_trace(std::istream& in, int& num_ports,
                                   const FbTraceOptions& options) {
+  using trace_detail::next_line;
+  using trace_detail::parse_error;
+  constexpr const char* kWho = "read_fb_trace";
+  std::string line;
+  std::size_t lineno = 0;
+  if (!next_line(in, line, lineno)) throw std::runtime_error("read_fb_trace: empty input");
+  std::istringstream header(line);
   int num_coflows = 0;
-  if (!(in >> num_ports >> num_coflows) || num_ports <= 0 || num_coflows < 0) {
-    throw std::runtime_error("read_fb_trace: bad header");
+  if (!(header >> num_ports >> num_coflows) || num_ports <= 0 || num_coflows < 0) {
+    parse_error(kWho, lineno, "bad header (want '<racks> <coflows>')");
   }
   Rng rng(options.perturb_seed);
   std::vector<Coflow> coflows;
   coflows.reserve(num_coflows);
 
   for (int k = 0; k < num_coflows; ++k) {
+    if (!next_line(in, line, lineno)) {
+      parse_error(kWho, lineno + 1,
+                  "truncated: expected " + std::to_string(num_coflows) +
+                      " coflow records, found " + std::to_string(k));
+    }
+    std::istringstream rec(line);
     long long raw_id = 0;
     double arrival_ms = 0.0;
     int num_mappers = 0;
-    if (!(in >> raw_id >> arrival_ms >> num_mappers) || num_mappers < 0) {
-      throw std::runtime_error("read_fb_trace: bad coflow record");
+    if (!(rec >> raw_id >> arrival_ms >> num_mappers) || num_mappers < 0) {
+      parse_error(kWho, lineno, "bad coflow record (want '<id> <arrival_ms> "
+                                "<mappers> <racks...> <reducers> <rack:mb>...')");
+    }
+    if (!std::isfinite(arrival_ms) || arrival_ms < 0.0) {
+      parse_error(kWho, lineno, "NaN or negative arrival");
     }
     std::vector<int> mappers(num_mappers);
     for (int& m : mappers) {
-      if (!(in >> m) || m < 0 || m >= num_ports) {
-        throw std::runtime_error("read_fb_trace: mapper rack out of range");
+      if (!(rec >> m)) parse_error(kWho, lineno, "truncated mapper list");
+      if (m < 0 || m >= num_ports) {
+        parse_error(kWho, lineno,
+                    "mapper rack " + std::to_string(m) + " out of range for " +
+                        std::to_string(num_ports) + " racks");
       }
     }
     int num_reducers = 0;
-    if (!(in >> num_reducers) || num_reducers < 0) {
-      throw std::runtime_error("read_fb_trace: bad reducer count");
+    if (!(rec >> num_reducers) || num_reducers < 0) {
+      parse_error(kWho, lineno, "bad reducer count");
     }
 
     Coflow c;
@@ -49,15 +71,26 @@ std::vector<Coflow> read_fb_trace(std::istream& in, int& num_ports,
 
     for (int r = 0; r < num_reducers; ++r) {
       std::string token;
-      if (!(in >> token)) throw std::runtime_error("read_fb_trace: truncated reducers");
+      if (!(rec >> token)) parse_error(kWho, lineno, "truncated reducer list");
       const std::size_t colon = token.find(':');
       if (colon == std::string::npos) {
-        throw std::runtime_error("read_fb_trace: reducer token missing ':'");
+        parse_error(kWho, lineno, "reducer token '" + token + "' missing ':'");
       }
-      const int rack = std::stoi(token.substr(0, colon));
-      const double size_mb = std::stod(token.substr(colon + 1));
-      if (rack < 0 || rack >= num_ports || size_mb < 0.0) {
-        throw std::runtime_error("read_fb_trace: bad reducer entry");
+      int rack = -1;
+      double size_mb = -1.0;
+      try {
+        rack = std::stoi(token.substr(0, colon));
+        size_mb = std::stod(token.substr(colon + 1));
+      } catch (const std::exception&) {
+        parse_error(kWho, lineno, "unparseable reducer token '" + token + "'");
+      }
+      if (rack < 0 || rack >= num_ports) {
+        parse_error(kWho, lineno,
+                    "reducer rack " + std::to_string(rack) + " out of range for " +
+                        std::to_string(num_ports) + " racks");
+      }
+      if (!std::isfinite(size_mb) || size_mb < 0.0) {
+        parse_error(kWho, lineno, "NaN or negative shuffle size in '" + token + "'");
       }
       if (mappers.empty() || size_mb == 0.0) continue;
       // The paper's preprocessing: split the reducer's shuffle volume

@@ -1,11 +1,16 @@
 #include "trace/serialization.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <tuple>
+#include <utility>
 #include <vector>
+
+#include "trace/line_reader.hpp"
 
 namespace reco {
 
@@ -28,33 +33,78 @@ void write_trace(std::ostream& out, const std::vector<Coflow>& coflows, int num_
 }
 
 std::vector<Coflow> read_trace(std::istream& in, int& num_ports) {
+  using trace_detail::next_line;
+  using trace_detail::parse_error;
+  constexpr const char* kWho = "read_trace";
+  std::string line;
+  std::size_t lineno = 0;
+  if (!next_line(in, line, lineno)) throw std::runtime_error("read_trace: empty input");
+  std::istringstream header(line);
   std::string magic;
   int version = 0;
-  std::size_t count = 0;
-  if (!(in >> magic >> version >> num_ports >> count) || magic != "reco-trace" ||
-      (version != 1 && version != 2)) {
-    throw std::runtime_error("read_trace: bad header");
+  long long count = -1;
+  if (!(header >> magic >> version >> num_ports >> count) || magic != "reco-trace") {
+    parse_error(kWho, lineno, "bad header (want 'reco-trace <version> <ports> <coflows>')");
   }
+  if (version != 1 && version != 2) {
+    parse_error(kWho, lineno, "unsupported version " + std::to_string(version));
+  }
+  if (num_ports <= 0) parse_error(kWho, lineno, "non-positive port count");
+  if (count < 0) parse_error(kWho, lineno, "negative coflow count");
+
   std::vector<Coflow> coflows;
-  coflows.reserve(count);
-  for (std::size_t k = 0; k < count; ++k) {
+  coflows.reserve(static_cast<std::size_t>(count));
+  std::set<int> seen_ids;
+  for (long long k = 0; k < count; ++k) {
+    if (!next_line(in, line, lineno)) {
+      parse_error(kWho, lineno + 1,
+                  "truncated: expected " + std::to_string(count) + " coflow records, found " +
+                      std::to_string(k));
+    }
+    std::istringstream rec(line);
     Coflow c;
-    std::size_t num_flows = 0;
-    bool header_ok = static_cast<bool>(in >> c.id >> c.weight);
-    if (header_ok && version >= 2) header_ok = static_cast<bool>(in >> c.arrival);
-    if (!header_ok || !(in >> num_flows)) {
-      throw std::runtime_error("read_trace: truncated coflow record");
+    long long num_flows = -1;
+    bool header_ok = static_cast<bool>(rec >> c.id >> c.weight);
+    if (header_ok && version >= 2) header_ok = static_cast<bool>(rec >> c.arrival);
+    if (!header_ok || !(rec >> num_flows) || num_flows < 0) {
+      parse_error(kWho, lineno, "bad coflow record (want '<id> <weight> "
+                                "[arrival] <num_flows> [<in> <out> <demand>]...')");
+    }
+    if (!std::isfinite(c.weight) || c.weight < 0.0) {
+      parse_error(kWho, lineno, "NaN or negative weight");
+    }
+    if (!std::isfinite(c.arrival) || c.arrival < 0.0) {
+      parse_error(kWho, lineno, "NaN or negative arrival");
+    }
+    if (!seen_ids.insert(c.id).second) {
+      parse_error(kWho, lineno, "duplicate coflow id " + std::to_string(c.id));
     }
     c.demand = Matrix(num_ports);
-    for (std::size_t f = 0; f < num_flows; ++f) {
+    std::set<std::pair<int, int>> seen_flows;
+    for (long long f = 0; f < num_flows; ++f) {
       int i = 0;
       int j = 0;
       double d = 0.0;
-      if (!(in >> i >> j >> d) || i < 0 || i >= num_ports || j < 0 || j >= num_ports) {
-        throw std::runtime_error("read_trace: bad flow record");
+      if (!(rec >> i >> j >> d)) {
+        parse_error(kWho, lineno,
+                    "truncated flow list (declared " + std::to_string(num_flows) + " flows)");
+      }
+      const std::string flow = "(" + std::to_string(i) + ", " + std::to_string(j) + ")";
+      if (i < 0 || i >= num_ports || j < 0 || j >= num_ports) {
+        parse_error(kWho, lineno,
+                    "flow " + flow + " out of range for a " + std::to_string(num_ports) +
+                        "-port fabric");
+      }
+      if (!std::isfinite(d) || d < 0.0) {
+        parse_error(kWho, lineno, "NaN or negative demand on flow " + flow);
+      }
+      if (!seen_flows.emplace(i, j).second) {
+        parse_error(kWho, lineno, "duplicate flow " + flow);
       }
       c.demand.at(i, j) = d;
     }
+    std::string extra;
+    if (rec >> extra) parse_error(kWho, lineno, "trailing tokens after the flow list");
     coflows.push_back(std::move(c));
   }
   return coflows;

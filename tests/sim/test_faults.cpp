@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "runtime/thread_pool.hpp"
 #include "sched/reco_sin.hpp"
 #include "sim/fabric.hpp"
+#include "sim/multi_fabric.hpp"
 #include "testing_util.hpp"
 #include "trace/rng.hpp"
 
@@ -84,6 +86,250 @@ TEST(Faults, DemandStillFullyServedUnderHeavyFaults) {
   ReplayController a(reco_sin(d, delta));
   const SimulationReport r = simulate_single_coflow(a, d, delta, faults);
   EXPECT_TRUE(r.satisfied);  // faults cost time, never correctness
+}
+
+TEST(Faults, LegacyModelValidatedAtSimulationEntry) {
+  // Regression: retry_probability >= 1 used to spin the retry loop forever
+  // and negative jitter was silently accepted; both now throw up front.
+  const Matrix d = demand_under_test(506);
+  FaultModel forever;
+  forever.retry_probability = 1.0;
+  ReplayController a(reco_sin(d, 0.1));
+  EXPECT_THROW(simulate_single_coflow(a, d, 0.1, forever), std::invalid_argument);
+  FaultModel negative;
+  negative.jitter_fraction = -0.5;
+  ReplayController b(reco_sin(d, 0.1));
+  EXPECT_THROW(simulate_single_coflow(b, d, 0.1, negative), std::invalid_argument);
+}
+
+TEST(Faults, ExhaustedAttemptBudgetTerminatesWithAccounting) {
+  // A near-certain retry probability under a tiny attempt budget: setups
+  // fail instead of looping, the run ends, and every unit of demand is
+  // either delivered or reported stranded.
+  const Matrix d = demand_under_test(507);
+  const Time delta = 0.05;
+  FaultModel faults;
+  faults.retry_probability = 0.99;
+  faults.max_attempts = 2;
+  ReplayController a(reco_sin(d, delta));
+  const SimulationReport r = simulate_single_coflow(a, d, delta, faults);
+  EXPECT_GT(r.setup_failures, 0);
+  EXPECT_NEAR(r.delivered_demand + r.stranded_demand, d.total(), 1e-5);
+  EXPECT_EQ(r.satisfied, r.stranded_demand < kMinServiceQuantum);
+}
+
+TEST(Faults, IdealInjectorMatchesLegacyIdealRun) {
+  const Matrix d = demand_under_test(508);
+  const Time delta = 0.1;
+  const CircuitSchedule s = reco_sin(d, delta);
+  ReplayController a(s);
+  ReplayController b(s);
+  const SimulationReport legacy = simulate_single_coflow(a, d, delta);
+  FaultInjector injector;
+  const SimulationReport injected = simulate_single_coflow(b, d, delta, injector);
+  EXPECT_DOUBLE_EQ(legacy.cct, injected.cct);
+  EXPECT_EQ(legacy.reconfigurations, injected.reconfigurations);
+  EXPECT_DOUBLE_EQ(injected.stranded_demand, 0.0);
+  EXPECT_NEAR(injected.delivered_demand, d.total(), 1e-6);
+  EXPECT_EQ(injected.port_failures, 0);
+  EXPECT_DOUBLE_EQ(injected.degraded_time, 0.0);
+}
+
+Matrix recovery_demand() {
+  Matrix d(4);
+  d.at(0, 1) = 2.0;   // dies with ingress 0
+  d.at(0, 3) = 1.0;   // dies with ingress 0
+  d.at(1, 2) = 3.0;
+  d.at(2, 3) = 1.5;
+  d.at(3, 0) = 2.5;
+  d.at(2, 0) = 0.75;
+  return d;
+}
+
+TEST(Faults, RecoveringControllerDeliversAllDeliverableDemand) {
+  // Tentpole acceptance: permanent ingress-0 failure at t=0.  Everything
+  // not rooted at the dead port is delivered via replanning on the
+  // surviving ports; the rest is stranded and the run terminates.
+  const Matrix d = recovery_demand();
+  const Time delta = 0.05;
+  FaultConfig config;
+  config.port_faults.push_back({0.0, 0, PortSide::kIngress, -1.0});
+  FaultInjector injector(config);
+  RecoveringController controller(reco_sin(d, delta), delta);
+  const SimulationReport r = simulate_single_coflow(controller, d, delta, injector);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_EQ(r.port_failures, 1);
+  EXPECT_EQ(r.port_repairs, 0);
+  EXPECT_NEAR(r.stranded_demand, 3.0, 1e-6);  // exactly row 0's demand
+  EXPECT_NEAR(r.delivered_demand, d.total() - 3.0, 1e-6);
+  EXPECT_GE(controller.replans(), 1);
+  EXPECT_GE(r.recoveries, 1);  // useful service resumed after the failure
+  EXPECT_GT(r.degraded_time, 0.0);
+}
+
+TEST(Faults, TransientPortFailureFullyRecovers) {
+  const Matrix d = recovery_demand();
+  const Time delta = 0.05;
+  FaultConfig config;
+  config.port_faults.push_back({0.5, 1, PortSide::kBoth, 0.4});
+  FaultInjector injector(config);
+  RecoveringController controller(reco_sin(d, delta), delta);
+  const SimulationReport r = simulate_single_coflow(controller, d, delta, injector);
+  EXPECT_TRUE(r.satisfied);  // the port came back: nothing is stranded
+  EXPECT_EQ(r.port_failures, 1);
+  EXPECT_EQ(r.port_repairs, 1);
+  EXPECT_NEAR(r.delivered_demand, d.total(), 1e-5);
+  EXPECT_LT(r.stranded_demand, 1e-6);
+  EXPECT_GT(r.degraded_time, 0.0);
+  EXPECT_LE(r.degraded_time, r.cct + 1e-9);
+}
+
+TEST(Faults, ConservationHoldsUnderFaultSoup) {
+  // Property: delivered + stranded == total demand under any mix of port
+  // failures, timeouts, partial setups, and legacy timing faults — and the
+  // run always terminates.
+  const Time delta = 0.05;
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    const Matrix d = demand_under_test(600 + seed);
+    FaultConfig config;
+    config.timing.jitter_fraction = 0.3;
+    config.timing.retry_probability = 0.2;
+    config.timing.max_attempts = 8;
+    config.port_mtbf = 2.0;
+    config.port_mttr = 0.5;
+    config.setup_timeout_probability = 0.2;
+    config.crosspoint_failure_probability = 0.1;
+    config.seed = seed;
+    FaultInjector injector(config);
+    RecoveringController controller(reco_sin(d, delta), delta);
+    const SimulationReport r = simulate_single_coflow(controller, d, delta, injector);
+    EXPECT_NEAR(r.delivered_demand + r.stranded_demand, d.total(), 1e-5)
+        << "seed " << seed;
+    EXPECT_EQ(r.satisfied, r.stranded_demand < kMinServiceQuantum) << "seed " << seed;
+  }
+}
+
+TEST(Faults, FaultStreamIdenticalAcrossThreadCounts) {
+  // The fault streams are consumed in simulation-event order only, so the
+  // degraded timeline is bit-identical at any RECO_THREADS setting.
+  const Matrix d = demand_under_test(509);
+  const Time delta = 0.05;
+  FaultConfig config;
+  config.timing.jitter_fraction = 0.25;
+  config.port_mtbf = 1.5;
+  config.port_mttr = 0.3;
+  config.setup_timeout_probability = 0.15;
+  config.crosspoint_failure_probability = 0.1;
+  config.seed = 77;
+  SimulationReport reports[2];
+  const int thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    runtime::set_thread_count(thread_counts[i]);
+    FaultInjector injector(config);
+    RecoveringController controller(reco_sin(d, delta), delta);
+    reports[i] = simulate_single_coflow(controller, d, delta, injector);
+  }
+  runtime::set_thread_count(0);  // restore the env/hardware default
+  EXPECT_DOUBLE_EQ(reports[0].cct, reports[1].cct);
+  EXPECT_DOUBLE_EQ(reports[0].delivered_demand, reports[1].delivered_demand);
+  EXPECT_DOUBLE_EQ(reports[0].stranded_demand, reports[1].stranded_demand);
+  EXPECT_DOUBLE_EQ(reports[0].degraded_time, reports[1].degraded_time);
+  EXPECT_EQ(reports[0].port_failures, reports[1].port_failures);
+  EXPECT_EQ(reports[0].setup_failures, reports[1].setup_failures);
+  EXPECT_EQ(reports[0].partial_setups, reports[1].partial_setups);
+  EXPECT_EQ(reports[0].reconfigurations, reports[1].reconfigurations);
+}
+
+TEST(Faults, NotAllStopReplayAcceptsFaultModel) {
+  const Matrix d = demand_under_test(510);
+  const Time delta = 0.1;
+  const CircuitSchedule s = reco_sin(d, delta);
+  const SimulationReport ideal = simulate_not_all_stop_replay(s, d, delta);
+  const SimulationReport with_default = simulate_not_all_stop_replay(s, d, delta, FaultModel{});
+  EXPECT_DOUBLE_EQ(ideal.cct, with_default.cct);
+  EXPECT_EQ(ideal.reconfigurations, with_default.reconfigurations);
+
+  FaultModel jitter;
+  jitter.jitter_fraction = 0.5;
+  const SimulationReport slowed = simulate_not_all_stop_replay(s, d, delta, jitter);
+  EXPECT_TRUE(slowed.satisfied);
+  EXPECT_GE(slowed.cct, ideal.cct - 1e-9);
+
+  FaultModel flaky;
+  flaky.retry_probability = 0.9;
+  flaky.max_attempts = 2;
+  const SimulationReport degraded = simulate_not_all_stop_replay(s, d, delta, flaky);
+  EXPECT_NEAR(degraded.delivered_demand + degraded.stranded_demand, d.total(), 1e-5);
+
+  FaultModel invalid;
+  invalid.retry_probability = 1.0;
+  EXPECT_THROW(simulate_not_all_stop_replay(s, d, delta, invalid), std::invalid_argument);
+}
+
+std::vector<Coflow> multi_workload() {
+  std::vector<Coflow> coflows(2);
+  coflows[0].id = 0;
+  coflows[0].demand = recovery_demand();
+  coflows[1].id = 1;
+  coflows[1].arrival = 0.2;
+  coflows[1].demand = Matrix(4);
+  coflows[1].demand.at(1, 3) = 1.0;
+  coflows[1].demand.at(3, 2) = 2.0;
+  return coflows;
+}
+
+TEST(Faults, MultiCoflowIdealInjectorMatchesLegacyRun) {
+  const auto coflows = multi_workload();
+  const Time delta = 0.05;
+  GreedyPriorityController a(delta, GreedyPriorityController::Priority::kSmallestResidualFirst);
+  GreedyPriorityController b(delta, GreedyPriorityController::Priority::kSmallestResidualFirst);
+  const MultiFabricReport legacy = simulate_multi_coflow(a, coflows, delta);
+  FaultInjector injector;
+  const MultiFabricReport injected = simulate_multi_coflow(b, coflows, delta, injector);
+  ASSERT_EQ(legacy.cct.size(), injected.cct.size());
+  for (std::size_t k = 0; k < legacy.cct.size(); ++k) {
+    EXPECT_DOUBLE_EQ(legacy.cct[k], injected.cct[k]) << "coflow " << k;
+  }
+  EXPECT_EQ(legacy.reconfigurations, injected.reconfigurations);
+  EXPECT_DOUBLE_EQ(legacy.makespan, injected.makespan);
+  EXPECT_TRUE(injected.all_served);
+  EXPECT_DOUBLE_EQ(injected.stranded_demand, 0.0);
+}
+
+TEST(Faults, MultiCoflowPermanentFailureStrandsOnlyDeadDemand) {
+  const auto coflows = multi_workload();
+  const Time delta = 0.05;
+  Time total = 0.0;
+  for (const Coflow& c : coflows) total += c.demand.total();
+  FaultConfig config;
+  config.port_faults.push_back({0.0, 0, PortSide::kIngress, -1.0});
+  FaultInjector injector(config);
+  GreedyPriorityController controller(
+      delta, GreedyPriorityController::Priority::kSmallestResidualFirst);
+  const MultiFabricReport r = simulate_multi_coflow(controller, coflows, delta, injector);
+  EXPECT_FALSE(r.all_served);
+  EXPECT_EQ(r.port_failures, 1);
+  EXPECT_NEAR(r.stranded_demand, 3.0, 1e-6);  // coflow 0's ingress-0 rows
+  EXPECT_NEAR(r.delivered_demand, total - 3.0, 1e-6);
+  EXPECT_GT(r.degraded_time, 0.0);
+}
+
+TEST(Faults, MultiCoflowTransientFailureServesEverything) {
+  const auto coflows = multi_workload();
+  const Time delta = 0.05;
+  Time total = 0.0;
+  for (const Coflow& c : coflows) total += c.demand.total();
+  FaultConfig config;
+  config.port_faults.push_back({0.3, 2, PortSide::kBoth, 0.5});
+  FaultInjector injector(config);
+  GreedyPriorityController controller(
+      delta, GreedyPriorityController::Priority::kSmallestResidualFirst);
+  const MultiFabricReport r = simulate_multi_coflow(controller, coflows, delta, injector);
+  EXPECT_TRUE(r.all_served);
+  EXPECT_EQ(r.port_failures, 1);
+  EXPECT_EQ(r.port_repairs, 1);
+  EXPECT_NEAR(r.delivered_demand, total, 1e-5);
+  EXPECT_LT(r.stranded_demand, 1e-6);
 }
 
 }  // namespace

@@ -101,5 +101,26 @@ TEST(FbFormat, RejectsMalformedInput) {
   EXPECT_THROW(load_fb_trace("/nonexistent/file", ports), std::runtime_error);
 }
 
+TEST(FbFormat, MalformedInputNamesTheLine) {
+  const auto error_of = [](const char* text) -> std::string {
+    std::istringstream in(text);
+    int ports = 0;
+    try {
+      read_fb_trace(in, ports);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return {};
+  };
+  // Out-of-range reducer rack, NaN shuffle size, negative size, negative
+  // arrival: each error names the offending (1-based) line.
+  EXPECT_NE(error_of("4 1\n1 0 1 0 1 9:10\n").find("line 2"), std::string::npos);
+  EXPECT_NE(error_of("4 1\n1 0 1 0 1 2:nan\n").find("line 2"), std::string::npos);
+  EXPECT_NE(error_of("4 1\n1 0 1 0 1 2:-10\n").find("line 2"), std::string::npos);
+  EXPECT_NE(error_of("4 2\n1 0 1 0 1 2:10\n5 -3 1 0 1 2:10\n").find("line 3"),
+            std::string::npos);
+  EXPECT_NE(error_of("4 2\n1 0 1 0 1 2:10\n").find("expected 2"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace reco

@@ -74,6 +74,60 @@ TEST(Serialization, RejectsOutOfRangePort) {
   EXPECT_THROW(read_trace(buffer, ports), std::runtime_error);
 }
 
+// Every malformed input is rejected with a message naming the 1-based line.
+std::string read_error(const std::string& text) {
+  std::stringstream buffer(text);
+  int ports = 0;
+  try {
+    read_trace(buffer, ports);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Serialization, RejectsNaNDemandWithLineNumber) {
+  // "nan" either fails numeric extraction (truncated list) or parses as a
+  // NaN demand; both are rejected naming line 2.
+  const std::string err = read_error("reco-trace 2 4 1\n0 1.0 0.0 1 0 1 nan\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(Serialization, RejectsNegativeDemandWithLineNumber) {
+  const std::string err = read_error("reco-trace 2 4 1\n0 1.0 0.0 1 0 1 -5.0\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(Serialization, RejectsDuplicateFlow) {
+  const std::string err = read_error("reco-trace 2 4 1\n0 1.0 0.0 2 0 1 5.0 0 1 2.0\n");
+  EXPECT_NE(err.find("duplicate flow"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(Serialization, RejectsDuplicateCoflowId) {
+  const std::string err = read_error(
+      "reco-trace 2 4 2\n7 1.0 0.0 1 0 1 5.0\n7 1.0 0.0 1 1 2 3.0\n");
+  EXPECT_NE(err.find("duplicate coflow id"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
+TEST(Serialization, RejectsNegativeWeightAndArrival) {
+  EXPECT_NE(read_error("reco-trace 2 4 1\n0 -1.0 0.0 1 0 1 5.0\n").find("weight"),
+            std::string::npos);
+  EXPECT_NE(read_error("reco-trace 2 4 1\n0 1.0 -2.5 1 0 1 5.0\n").find("arrival"),
+            std::string::npos);
+}
+
+TEST(Serialization, RejectsTrailingTokens) {
+  const std::string err = read_error("reco-trace 2 4 1\n0 1.0 0.0 1 0 1 5.0 junk\n");
+  EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+}
+
+TEST(Serialization, TruncatedFileNamesExpectedCount) {
+  const std::string err = read_error("reco-trace 2 4 3\n0 1.0 0.0 1 0 1 5.0\n");
+  EXPECT_NE(err.find("expected 3"), std::string::npos) << err;
+}
+
 TEST(Serialization, FileRoundTrip) {
   GeneratorOptions o;
   o.num_ports = 10;
