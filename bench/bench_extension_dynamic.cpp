@@ -60,11 +60,11 @@ int main(int argc, char** argv) {
                    simulate_multi_coflow(c, coflows, g.delta));
   }
   add_plan_row("plan: epoch Reco-Mul",
-               schedule_online(coflows, OnlinePolicy::kEpochRecoMul, online));
+               schedule_online(coflows, OnlinePolicyKind::kEpochRecoMul, online));
   add_plan_row("plan: drain-replan Reco-Mul",
-               schedule_online(coflows, OnlinePolicy::kDrainReplanRecoMul, online));
+               schedule_online(coflows, OnlinePolicyKind::kDrainReplanRecoMul, online));
   add_plan_row("plan: FIFO Reco-Sin",
-               schedule_online(coflows, OnlinePolicy::kFifoRecoSin, online));
+               schedule_online(coflows, OnlinePolicyKind::kFifoRecoSin, online));
 
   std::printf("Workload: %d coflows on %d ports; delta = %s; Poisson arrivals\n"
               "(mean gap %s).\n\n",

@@ -32,10 +32,10 @@ int main(int argc, char** argv) {
   for (const Time gap : {0.0, 1e-3, 10e-3, 100e-3}) {
     g.mean_interarrival = gap;
     const auto coflows = generate_workload(g);
-    const OnlineScheduleResult epoch = schedule_online(coflows, OnlinePolicy::kEpochRecoMul, online);
+    const OnlineScheduleResult epoch = schedule_online(coflows, OnlinePolicyKind::kEpochRecoMul, online);
     const OnlineScheduleResult replan =
-        schedule_online(coflows, OnlinePolicy::kDrainReplanRecoMul, online);
-    const OnlineScheduleResult fifo = schedule_online(coflows, OnlinePolicy::kFifoRecoSin, online);
+        schedule_online(coflows, OnlinePolicyKind::kDrainReplanRecoMul, online);
+    const OnlineScheduleResult fifo = schedule_online(coflows, OnlinePolicyKind::kFifoRecoSin, online);
     t.add_row({gap == 0.0 ? "all at 0" : fmt_time(gap),
                std::to_string(epoch.epochs) + "/" + std::to_string(replan.epochs),
                fmt_double(epoch.total_weighted_cct, 4),
@@ -55,9 +55,9 @@ int main(int argc, char** argv) {
     g.mean_interarrival = gap;
     const auto coflows = generate_workload(g);
     const OnlineScheduleResult epoch =
-        schedule_online(coflows, OnlinePolicy::kEpochRecoMul, online);
+        schedule_online(coflows, OnlinePolicyKind::kEpochRecoMul, online);
     const OnlineScheduleResult replan =
-        schedule_online(coflows, OnlinePolicy::kDrainReplanRecoMul, online);
+        schedule_online(coflows, OnlinePolicyKind::kDrainReplanRecoMul, online);
     std::vector<double> e(epoch.cct.begin(), epoch.cct.end());
     std::vector<double> r(replan.cct.begin(), replan.cct.end());
     sweep.add_row({fmt_time(gap), fmt_double(mean(e), 4), fmt_double(mean(r), 4),

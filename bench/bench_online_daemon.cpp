@@ -1,0 +1,204 @@
+// Micro-benchmarks (google-benchmark) for the online scheduler path: the
+// per-decision replan cycle (the daemon's admit->order->plan->commit hot
+// loop), the serialized FIFO step, and end-to-end daemon throughput over a
+// streamed Poisson arrival source.  These back the online subsystem's two
+// first-class numbers: p99 decision latency and steady-state allocation
+// events (see docs/ONLINE.md).
+//
+// `--baseline_json=FILE` writes a machine-readable baseline
+// (name -> {ns_per_op, p99_us, N}) plus derived headline metrics; CI's
+// perf-guard gates BM_OnlineDecisionLatency against the committed
+// BENCH_online.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/coflow.hpp"
+#include "sched/online_core.hpp"
+#include "sim/online_daemon.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace reco;
+
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
+
+std::vector<Coflow> batch_workload(int ports, int coflows, std::uint64_t seed) {
+  GeneratorOptions o;
+  o.num_ports = ports;
+  o.num_coflows = coflows;
+  o.seed = seed;
+  return generate_workload(o);
+}
+
+OnlineCoreOptions soak_options() {
+  OnlineCoreOptions o;
+  // Benchmark the engine, not the unbounded result buffers.
+  o.record_schedule = false;
+  o.record_cct = false;
+  return o;
+}
+
+// ---- per-decision replan cycle -------------------------------------------
+//
+// One iteration = one full daemon decision on a warm core: admit a batch of
+// Args{ports, batch} coflows into recycled slots, order + packet-schedule +
+// Reco-Mul transform them (the plan() call the latency histogram times),
+// and commit the epoch.  After warm-up the cycle allocates nothing.
+
+void BM_OnlineDecisionLatency(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  const int batch = static_cast<int>(state.range(1));
+  const auto block = batch_workload(ports, batch, 991);
+  OnlineCore core(OnlinePolicyKind::kEpochRecoMul, soak_options());
+  core.reserve(static_cast<std::size_t>(batch));
+  for (auto _ : state) {
+    for (const Coflow& c : block) core.submit(c);
+    core.plan(0.0);
+    benchmark::DoNotOptimize(core.commit(kInf));
+  }
+  state.counters["N"] = static_cast<double>(ports);
+  state.counters["batch"] = static_cast<double>(batch);
+  state.counters["p99_us"] = core.latency().quantile_us(0.99);
+  state.counters["alloc_events"] = static_cast<double>(core.stats().alloc_events);
+}
+BENCHMARK(BM_OnlineDecisionLatency)
+    ->Args({16, 4})
+    ->Args({16, 8})
+    ->Args({32, 8})
+    ->Args({32, 16});
+
+// ---- serialized FIFO step ------------------------------------------------
+
+void BM_OnlineFifoDecision(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  const auto block = batch_workload(ports, 4, 992);
+  OnlineCore core(OnlinePolicyKind::kFifoRecoSin, soak_options());
+  core.reserve(block.size());
+  for (auto _ : state) {
+    for (const Coflow& c : block) core.submit(c);
+    while (!core.idle()) benchmark::DoNotOptimize(core.step_fifo(0.0));
+  }
+  state.counters["N"] = static_cast<double>(ports);
+  state.counters["p99_us"] = core.latency().quantile_us(0.99);
+  state.counters["alloc_events"] = static_cast<double>(core.stats().alloc_events);
+}
+BENCHMARK(BM_OnlineFifoDecision)->Arg(16)->Arg(32);
+
+// ---- end-to-end daemon throughput ----------------------------------------
+//
+// One iteration = a whole daemon lifetime: Args{0} coflows streamed one at
+// a time from the generator (never materialized), every arrival flowing
+// through the event queue into the drain-replan policy.  items/s is
+// coflows scheduled per second, daemon overhead included.
+
+void BM_OnlineDaemonThroughput(benchmark::State& state) {
+  const int coflows = static_cast<int>(state.range(0));
+  GeneratorOptions gen;
+  gen.num_ports = 16;
+  gen.num_coflows = coflows;
+  gen.seed = 993;
+  gen.mean_interarrival = 0.01;
+  sim::OnlineDaemonOptions opt;
+  opt.core = soak_options();
+  std::uint64_t finished = 0;
+  for (auto _ : state) {
+    ArrivalStream stream(gen);
+    sim::PullSource<ArrivalStream> source(stream);
+    sim::OnlineDaemon daemon(OnlinePolicyKind::kDrainReplanRecoMul, opt);
+    daemon.reserve(static_cast<std::size_t>(coflows));
+    finished = daemon.run(source).stats.finished;
+    benchmark::DoNotOptimize(finished);
+  }
+  state.SetItemsProcessed(state.iterations() * coflows);
+  state.counters["N"] = 16.0;
+  state.counters["finished"] = static_cast<double>(finished);
+}
+BENCHMARK(BM_OnlineDaemonThroughput)->Arg(100)->Arg(400);
+
+// ---- baseline reporter ---------------------------------------------------
+
+/// Console output plus an in-memory collection of per-benchmark results,
+/// flushed to `--baseline_json=FILE` as {name: {ns_per_op, p99_us, N}}.
+class BaselineReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double ns_per_op = 0.0;
+    double p99_us = 0.0;
+    double n = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.ns_per_op = run.GetAdjustedRealTime();  // default time unit: ns
+      const auto p99 = run.counters.find("p99_us");
+      const auto n = run.counters.find("N");
+      if (p99 != run.counters.end()) row.p99_us = p99->second.value;
+      if (n != run.counters.end()) row.n = n->second.value;
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  bool write_json(const std::string& path) const {
+    // Headline: the decision-latency p99 on the largest replan shape.
+    double headline_p99 = 0.0;
+    for (const Row& r : rows_) {
+      if (r.name == "BM_OnlineDecisionLatency/32/16") headline_p99 = r.p99_us;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    for (std::size_t k = 0; k < rows_.size(); ++k) {
+      const Row& r = rows_[k];
+      std::fprintf(f, "  \"%s\": {\"ns_per_op\": %.1f, \"p99_us\": %.1f, \"N\": %.0f}%s\n",
+                   r.name.c_str(), r.ns_per_op, r.p99_us, r.n,
+                   (k + 1 < rows_.size() || headline_p99 > 0.0) ? "," : "");
+    }
+    if (headline_p99 > 0.0) {
+      std::fprintf(f, "  \"online_decision_p99_us\": %.1f\n", headline_p99);
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::vector<char*> args;
+  for (int a = 0; a < argc; ++a) {
+    const std::string arg = argv[a];
+    constexpr const char* kFlag = "--baseline_json=";
+    if (arg.rfind(kFlag, 0) == 0) {
+      baseline_path = arg.substr(std::string(kFlag).size());
+    } else {
+      args.push_back(argv[a]);
+    }
+  }
+  int argn = static_cast<int>(args.size());
+  benchmark::Initialize(&argn, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argn, args.data())) return 1;
+  BaselineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!baseline_path.empty() && !reporter.write_json(baseline_path)) {
+    std::fprintf(stderr, "failed to write %s\n", baseline_path.c_str());
+    return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,193 @@
+// reco_serve: the online scheduler daemon from the command line.
+//
+// Synthesizes a Poisson coflow arrival stream (or replays a trace file)
+// and pushes it through the event-driven OnlineDaemon: arrivals and epoch
+// completions flow through the sim EventQueue, a pluggable OnlinePolicy
+// decides admit/re-order on the residual set, and every replan reuses the
+// warm-started matching and Reco-Mul scratch — zero steady-state
+// allocation once warm.
+//
+//   reco_serve [--coflows=N] [--ports=P] [--gap=SEC] [--seed=N]
+//              [--policy=epoch|replan|fifo] [--ordering=bssi|sebf|lp]
+//              [--delta=SEC] [--c=C] [--threads=N]
+//              [--trace=FILE] [--fb] [--no-schedule] [--csv=FILE]
+//              [--trace-out=FILE] [--metrics-out=FILE]
+//
+// With --trace the arrival stream is the trace file's coflows (their
+// arrival fields are honoured); otherwise the generator streams coflows
+// one at a time — a 100k-coflow run never materializes the workload.
+// --no-schedule drops the emitted slice list (the digest still witnesses
+// every slice), which keeps memory flat for soak runs; --csv implies
+// keeping it.  Output is bit-identical at every --threads value.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/online_daemon.hpp"
+#include "stats/csv.hpp"
+#include "trace/fb_format.hpp"
+#include "trace/generator.hpp"
+#include "trace/serialization.hpp"
+
+namespace {
+
+using namespace reco;
+
+struct Args {
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      a.options[arg.substr(2)] = "1";
+    } else {
+      a.options[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: reco_serve [--coflows=N] [--ports=P] [--gap=SEC] [--seed=N]\n"
+               "                  [--policy=epoch|replan|fifo] [--ordering=bssi|sebf|lp]\n"
+               "                  [--delta=SEC] [--c=C] [--threads=N]\n"
+               "                  [--trace=FILE] [--fb] [--no-schedule] [--csv=FILE]\n"
+               "                  [--trace-out=FILE] [--metrics-out=FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.has("help")) return usage();
+  if (args.has("threads")) {
+    runtime::set_thread_count(static_cast<int>(args.get_double("threads", 0)));
+  }
+  obs::init_from_env();
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!trace_out.empty() || !metrics_out.empty()) obs::set_enabled(true);
+
+  const std::string policy_name = args.get("policy", "replan");
+  OnlinePolicyKind policy = OnlinePolicyKind::kDrainReplanRecoMul;
+  if (policy_name == "epoch") {
+    policy = OnlinePolicyKind::kEpochRecoMul;
+  } else if (policy_name == "fifo") {
+    policy = OnlinePolicyKind::kFifoRecoSin;
+  } else if (policy_name != "replan") {
+    std::fprintf(stderr, "unknown --policy=%s\n", policy_name.c_str());
+    return usage();
+  }
+
+  const std::string ordering_name = args.get("ordering", "bssi");
+  OrderingPolicy ordering = OrderingPolicy::kBssi;
+  if (ordering_name == "sebf") {
+    ordering = OrderingPolicy::kSebf;
+  } else if (ordering_name == "lp") {
+    ordering = OrderingPolicy::kLp;
+  } else if (ordering_name != "bssi") {
+    std::fprintf(stderr, "unknown --ordering=%s\n", ordering_name.c_str());
+    return usage();
+  }
+
+  const std::string csv_path = args.get("csv", "");
+  sim::OnlineDaemonOptions options;
+  options.core.delta = args.get_double("delta", 100e-6);
+  options.core.c_threshold = args.get_double("c", 4.0);
+  options.core.ordering = ordering;
+  options.core.record_schedule = !args.has("no-schedule") || !csv_path.empty();
+  options.core.record_cct = true;
+
+  try {
+    GeneratorOptions gen;
+    gen.num_ports = static_cast<int>(args.get_double("ports", 32));
+    gen.num_coflows = static_cast<int>(args.get_double("coflows", 1000));
+    gen.seed = static_cast<std::uint64_t>(args.get_double("seed", 20190707));
+    gen.mean_interarrival = args.get_double("gap", 0.01);
+    gen.delta = options.core.delta;
+    gen.c_threshold = options.core.c_threshold;
+
+    sim::OnlineDaemonReport report;
+    sim::OnlineDaemon daemon(policy, options);
+    std::size_t arrivals = 0;
+    if (args.has("trace")) {
+      int ports = 0;
+      const std::vector<Coflow> coflows =
+          args.has("fb") ? load_fb_trace(args.get("trace", ""), ports)
+                         : load_trace(args.get("trace", ""), ports);
+      arrivals = coflows.size();
+      daemon.reserve(arrivals);
+      sim::VectorSource source(coflows);
+      report = daemon.run(source);
+    } else {
+      arrivals = static_cast<std::size_t>(gen.num_coflows);
+      daemon.reserve(arrivals);
+      ArrivalStream stream(gen);
+      sim::PullSource<ArrivalStream> source(stream);
+      report = daemon.run(source);
+    }
+
+    std::printf("reco_serve/%s (%s ordering): %zu arrivals, %llu finished, makespan %g s\n",
+                policy_name.c_str(), ordering_name.c_str(), arrivals,
+                static_cast<unsigned long long>(report.stats.finished), report.makespan);
+    std::printf("  sum w*CCT=%g, %d reconfigs, %d epochs, %llu slices, %llu events\n",
+                report.stats.total_weighted_cct, report.stats.reconfigurations,
+                report.stats.epochs,
+                static_cast<unsigned long long>(report.stats.emitted_slices),
+                static_cast<unsigned long long>(report.events));
+    std::printf("  decision latency: p50=%g us, p99=%g us, mean=%g us, max=%g us (%llu decisions)\n",
+                report.decision_p50_us, report.decision_p99_us, report.decision_mean_us,
+                report.decision_max_us, static_cast<unsigned long long>(report.decisions));
+    std::printf("  memory: peak live=%llu, slot reuses=%llu, alloc events=%llu\n",
+                static_cast<unsigned long long>(report.stats.peak_live),
+                static_cast<unsigned long long>(report.stats.slot_reuses),
+                static_cast<unsigned long long>(report.stats.alloc_events));
+    std::printf("  replay digest: %016llx\n", static_cast<unsigned long long>(report.digest));
+
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+        return 1;
+      }
+      write_slices_csv(out, daemon.core().schedule());
+      std::printf("wrote %zu slices to %s\n", daemon.core().schedule().size(), csv_path.c_str());
+    }
+    if (!trace_out.empty()) {
+      obs::save_trace_json(trace_out);
+      std::printf("wrote %zu trace events to %s\n", obs::tracer().size(), trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      obs::save_metrics_csv(metrics_out);
+      std::printf("wrote metrics to %s\n", metrics_out.c_str());
+    }
+    const bool complete = report.stats.finished == report.stats.submitted;
+    return complete ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

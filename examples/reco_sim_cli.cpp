@@ -261,9 +261,9 @@ int run_online(const Args& args, const std::vector<Coflow>& coflows) {
   o.delta = args.get_double("delta", 100e-6);
   o.c_threshold = args.get_double("c", 4.0);
   const std::string policy_name = args.get("policy", "epoch");
-  const OnlinePolicy policy = policy_name == "fifo"     ? OnlinePolicy::kFifoRecoSin
-                              : policy_name == "replan" ? OnlinePolicy::kDrainReplanRecoMul
-                                                        : OnlinePolicy::kEpochRecoMul;
+  const OnlinePolicyKind policy = policy_name == "fifo"     ? OnlinePolicyKind::kFifoRecoSin
+                              : policy_name == "replan" ? OnlinePolicyKind::kDrainReplanRecoMul
+                                                        : OnlinePolicyKind::kEpochRecoMul;
   const OnlineScheduleResult r = schedule_online(coflows, policy, o);
   std::vector<double> cct(r.cct.begin(), r.cct.end());
   std::printf("online/%s: sum w*CCT=%g, avg CCT=%g s, %d reconfigs, %d epochs\n",

@@ -21,6 +21,7 @@
 #include "core/circuit.hpp"
 #include "core/matrix.hpp"
 #include "core/support_index.hpp"
+#include "matching/matching_engine.hpp"
 
 namespace reco {
 
@@ -42,6 +43,13 @@ CircuitSchedule bvn_decompose(Matrix m, BvnPolicy policy);
 /// support: O(nnz * sqrt(N)) for the initial matching plus O(degree) per
 /// repaired edge per round, versus O(rounds * N^2) for a dense rescan.
 CircuitSchedule bvn_decompose(SupportIndex m, BvnPolicy policy);
+
+/// Caller-owned-scratch variant: kExactBottleneck threads `scratch` through
+/// every peel round, so a long-lived scratch warm-starts across *calls* too
+/// (the online replan core decomposes once per epoch and reuses one arena).
+/// The other policies carry their own incremental matcher state and ignore
+/// the scratch.
+CircuitSchedule bvn_decompose(SupportIndex m, BvnPolicy policy, MatchingScratch& scratch);
 
 /// Cover an arbitrary non-negative matrix with matchings: each round takes
 /// a maximum matching on the nonzero support and holds it for the largest

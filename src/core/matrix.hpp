@@ -22,6 +22,13 @@ class Matrix {
   /// Zero matrix of size n x n.
   explicit Matrix(int n) : n_(n), v_(static_cast<std::size_t>(n) * n, 0.0) {}
 
+  /// Reset to the n x n zero matrix, reusing existing storage capacity
+  /// (allocation-free once the buffer has grown to n*n).
+  void zero(int n) {
+    n_ = n;
+    v_.assign(static_cast<std::size_t>(n) * n, 0.0);
+  }
+
   /// Build from row-major initializer (size must be a perfect square).
   static Matrix from_rows(std::initializer_list<std::initializer_list<double>> rows);
 
@@ -77,6 +84,10 @@ class Matrix {
 
   /// Human-readable dump for diagnostics and examples.
   std::string to_string(int width = 8) const;
+
+  /// Heap capacity of the dense storage, in elements — alloc-event
+  /// accounting for long-lived buffers (see MatchingScratch::Stats).
+  std::size_t capacity() const { return v_.capacity(); }
 
  private:
   std::size_t idx(int i, int j) const {

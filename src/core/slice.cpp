@@ -80,15 +80,23 @@ Time total_weighted_cct(const std::vector<Time>& cct, const std::vector<Coflow>&
 }
 
 std::vector<Time> start_batches(const SliceSchedule& schedule) {
-  std::vector<Time> starts;
-  starts.reserve(schedule.size());
-  for (const FlowSlice& s : schedule) starts.push_back(s.start);
-  std::sort(starts.begin(), starts.end());
   std::vector<Time> batches;
-  for (Time t : starts) {
-    if (batches.empty() || !approx_eq(batches.back(), t)) batches.push_back(t);
-  }
+  start_batches_into(schedule, batches);
   return batches;
+}
+
+void start_batches_into(const SliceSchedule& schedule, std::vector<Time>& out) {
+  out.clear();
+  out.reserve(schedule.size());
+  for (const FlowSlice& s : schedule) out.push_back(s.start);
+  std::sort(out.begin(), out.end());
+  // Same chain dedup as the returning variant: compare each start against
+  // the last *kept* batch time.
+  std::size_t kept = 0;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    if (kept == 0 || !approx_eq(out[kept - 1], out[k])) out[kept++] = out[k];
+  }
+  out.resize(kept);
 }
 
 Time makespan(const SliceSchedule& schedule) {

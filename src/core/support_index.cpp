@@ -41,6 +41,32 @@ SupportIndex::SupportIndex(Matrix m) : m_(std::move(m)) {
   }
 }
 
+void SupportIndex::assign(const Matrix& m) {
+  const int n = m.n();
+  m_ = m;  // dense storage: vector copy-assign reuses capacity
+  row_adj_.resize(n);
+  col_adj_.resize(n);
+  for (auto& adj : row_adj_) adj.clear();
+  for (auto& adj : col_adj_) adj.clear();
+  row_sum_.assign(n, 0.0);
+  col_sum_.assign(n, 0.0);
+  nnz_ = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double& cell = m_.at(i, j);
+      if (approx_zero(cell)) {
+        cell = 0.0;
+        continue;
+      }
+      row_adj_[i].push_back(j);
+      col_adj_[j].push_back(i);
+      row_sum_[i] += cell;
+      col_sum_[j] += cell;
+      ++nnz_;
+    }
+  }
+}
+
 SupportIndex SupportIndex::zeros(int n) {
   SupportIndex idx;
   idx.m_ = Matrix(n);
@@ -101,6 +127,20 @@ Time SupportIndex::row_sum_exact(int i) const {
   Time s = 0.0;
   for (const int j : row_adj_[i]) s += m_.at(i, j);
   return s;
+}
+
+void SupportIndex::reserve_dense() {
+  const std::size_t n = static_cast<std::size_t>(m_.n());
+  for (auto& adj : row_adj_) adj.reserve(n);
+  for (auto& adj : col_adj_) adj.reserve(n);
+}
+
+std::size_t SupportIndex::capacity_footprint() const {
+  std::size_t total = m_.capacity() + row_adj_.capacity() + col_adj_.capacity() +
+                      row_sum_.capacity() + col_sum_.capacity();
+  for (const auto& adj : row_adj_) total += adj.capacity();
+  for (const auto& adj : col_adj_) total += adj.capacity();
+  return total;
 }
 
 Time SupportIndex::col_sum_exact(int j) const {

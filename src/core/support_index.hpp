@@ -12,6 +12,7 @@
 // whole peeling loop becomes proportional to nnz instead of N^2.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/matrix.hpp"
@@ -47,6 +48,14 @@ class SupportIndex {
   /// Take ownership of `m` and build the index in one O(N^2) scan.
   /// Sub-tolerance entries of `m` are snapped to exact zero.
   explicit SupportIndex(Matrix m);
+
+  /// Rebuild this index over a copy of `m` in place, reusing every buffer's
+  /// capacity (adjacency lists, sums, the dense storage when the dimension
+  /// is unchanged).  Same snapping semantics as the ingest constructor.
+  /// This is the slot-recycling entry point of the online scheduler: a
+  /// daemon that re-seats thousands of coflows in the same residual slots
+  /// must not re-allocate the index each time.
+  void assign(const Matrix& m);
 
   /// Empty n x n index without the O(N^2) ingest scan — the right entry
   /// point for kernels that build a sparse result entry by entry
@@ -114,6 +123,19 @@ class SupportIndex {
   /// Matrix::row_sum(i) because every skipped entry is exactly 0.0.
   Time row_sum_exact(int i) const;
   Time col_sum_exact(int j) const;
+
+  /// Total heap capacity currently held, in elements (dense storage plus
+  /// every adjacency list) — sampled by the online core's alloc-event
+  /// accounting to prove recycled slots stop allocating at steady state.
+  std::size_t capacity_footprint() const;
+
+  /// Reserve every adjacency list to full density (n entries), making the
+  /// index's capacity independent of the shape of the matrix it currently
+  /// holds.  A recycled slot whose index is dense-reserved can be re-seated
+  /// with any n x n demand without allocating — without this, a long
+  /// arrival stream keeps breaking per-row nnz records in recycled slots
+  /// and the allocation high-water mark creeps forever.
+  void reserve_dense();
 
  private:
   /// Slow path of set(): entry (i, j) entered (`now`) or left the support.

@@ -40,15 +40,22 @@ std::size_t count_at_or_below(const std::vector<Time>& batches, Time t) {
 }  // namespace
 
 SliceSchedule inflate_pseudo_time(const SliceSchedule& pseudo, Time delta) {
-  const std::vector<Time> batches = start_batches(pseudo);
+  std::vector<Time> batches;
   SliceSchedule real;
-  real.reserve(pseudo.size());
-  for (const FlowSlice& s : pseudo) {
-    const Time start_shift = delta * static_cast<Time>(count_at_or_below(batches, s.start));
-    const Time end_shift = delta * static_cast<Time>(count_below(batches, s.end));
-    real.push_back({s.start + start_shift, s.end + end_shift, s.src, s.dst, s.coflow});
-  }
+  inflate_pseudo_time_into(pseudo, delta, batches, real);
   return real;
+}
+
+void inflate_pseudo_time_into(const SliceSchedule& pseudo, Time delta,
+                              std::vector<Time>& batch_scratch, SliceSchedule& real_out) {
+  start_batches_into(pseudo, batch_scratch);
+  real_out.clear();
+  real_out.reserve(pseudo.size());
+  for (const FlowSlice& s : pseudo) {
+    const Time start_shift = delta * static_cast<Time>(count_at_or_below(batch_scratch, s.start));
+    const Time end_shift = delta * static_cast<Time>(count_below(batch_scratch, s.end));
+    real_out.push_back({s.start + start_shift, s.end + end_shift, s.src, s.dst, s.coflow});
+  }
 }
 
 int count_reconfigurations(const SliceSchedule& schedule) {

@@ -22,6 +22,13 @@ namespace reco {
 /// mid-flight batches times delta (the all-stop halts).
 SliceSchedule inflate_pseudo_time(const SliceSchedule& pseudo, Time delta);
 
+/// In-place twin: writes the inflated schedule into `real_out` (cleared
+/// first) and uses `batch_scratch` for the start-batch buffer, reusing both
+/// buffers' capacity.  The online replan core inflates once per epoch with
+/// long-lived scratch, so steady state allocates nothing here.
+void inflate_pseudo_time_into(const SliceSchedule& pseudo, Time delta,
+                              std::vector<Time>& batch_scratch, SliceSchedule& real_out);
+
 /// Reconfigurations an all-stop OCS needs to run this schedule: one per
 /// distinct start batch (Alg. 2's eta over the full horizon).
 int count_reconfigurations(const SliceSchedule& schedule);

@@ -89,7 +89,11 @@ MultiScheduleResult reco_mul_pipeline(const std::vector<Coflow>& coflows, Time d
     return packet_schedule(coflows, order);
   }();
   const RecoMulSchedule transformed = reco_mul_transform(packet, delta, c);
-  const int reconfigs = count_reconfigurations(transformed.pseudo);
+  // Count on the *emitted* real-time schedule, not the pseudo one: the
+  // result's reconfiguration figure must agree with its `schedule` field
+  // (inflation preserves batch count, but eps-close pseudo starts can
+  // dedup differently — the real axis is what the fabric pays for).
+  const int reconfigs = count_reconfigurations(transformed.real);
   if (obs::enabled()) {
     obs::metrics().counter("reco_mul.reconfigurations").inc(static_cast<double>(reconfigs));
   }
@@ -102,7 +106,8 @@ MultiScheduleResult unregularized_pipeline(const std::vector<Coflow>& coflows, T
   const SliceSchedule packet = packet_schedule(coflows, order);
   // No start-time regularization: inflate the raw packet schedule directly.
   const SliceSchedule real = inflate_pseudo_time(packet, delta);
-  const int reconfigs = count_reconfigurations(packet);
+  // As in reco_mul_pipeline: the count must describe the emitted schedule.
+  const int reconfigs = count_reconfigurations(real);
   return finalize(real, coflows, reconfigs);
 }
 

@@ -4,225 +4,85 @@
 #include <limits>
 #include <numeric>
 
-#include "ocs/all_stop_executor.hpp"
-#include "ocs/slice_executor.hpp"
-#include "sched/packet_scheduler.hpp"
-#include "sched/reco_mul.hpp"
-#include "sched/reco_sin.hpp"
+#include "sched/online_core.hpp"
 
 namespace reco {
 
-namespace {
-
-OnlineScheduleResult epoch_reco_mul(const std::vector<Coflow>& coflows,
-                                    const OnlineOptions& options) {
+OnlineScheduleResult schedule_online(const std::vector<Coflow>& coflows, OnlinePolicyKind policy,
+                                     const OnlineOptions& options) {
   OnlineScheduleResult result;
   result.cct.assign(coflows.size(), 0.0);
+  if (coflows.empty()) return result;
 
-  std::vector<int> remaining(coflows.size());
-  std::iota(remaining.begin(), remaining.end(), 0);
-  Time clock = 0.0;
-
-  while (!remaining.empty()) {
-    // Collect everything that has arrived; if nothing has, jump to the
-    // next arrival (the fabric is idle anyway).
-    Time next_arrival = std::numeric_limits<Time>::infinity();
-    std::vector<int> batch;
-    for (int idx : remaining) {
-      if (coflows[idx].arrival <= clock + kTimeEps) {
-        batch.push_back(idx);
-      } else {
-        next_arrival = std::min(next_arrival, coflows[idx].arrival);
-      }
-    }
-    if (batch.empty()) {
-      clock = next_arrival;
-      continue;
-    }
-
-    // Schedule the batch as one offline Reco-Mul instance on a local time
-    // axis, then shift onto the global clock.
-    std::vector<Coflow> local;
-    local.reserve(batch.size());
-    for (std::size_t b = 0; b < batch.size(); ++b) {
-      Coflow c = coflows[batch[b]];
-      c.id = static_cast<int>(b);
-      c.arrival = 0.0;
-      local.push_back(std::move(c));
-    }
-    const std::vector<int> order = order_coflows(local, options.ordering);
-    const SliceSchedule packet = packet_schedule(local, order);
-    const RecoMulSchedule transformed =
-        reco_mul_transform(packet, options.delta, options.c_threshold);
-    result.reconfigurations += count_reconfigurations(transformed.pseudo);
-
-    const std::vector<Time> local_cct =
-        completion_times(transformed.real, static_cast<int>(batch.size()));
-    for (std::size_t b = 0; b < batch.size(); ++b) {
-      result.cct[batch[b]] = clock + local_cct[b] - coflows[batch[b]].arrival;
-    }
-    for (const FlowSlice& s : transformed.real) {
-      result.schedule.push_back(
-          {s.start + clock, s.end + clock, s.src, s.dst, coflows[batch[s.coflow]].id});
-    }
-    clock += makespan(transformed.real);
-    ++result.epochs;
-
-    std::vector<int> still_waiting;
-    still_waiting.reserve(remaining.size() - batch.size());
-    for (int idx : remaining) {
-      if (std::find(batch.begin(), batch.end(), idx) == batch.end()) {
-        still_waiting.push_back(idx);
-      }
-    }
-    remaining = std::move(still_waiting);
-  }
-
-  for (std::size_t k = 0; k < coflows.size(); ++k) {
-    result.total_weighted_cct += coflows[k].weight * result.cct[k];
-  }
-  return result;
-}
-
-OnlineScheduleResult drain_replan_reco_mul(const std::vector<Coflow>& coflows,
-                                           const OnlineOptions& options) {
-  OnlineScheduleResult result;
-  result.cct.assign(coflows.size(), 0.0);
-
-  // Working copy of what each coflow still has to send.
-  std::vector<Matrix> remaining;
-  remaining.reserve(coflows.size());
-  for (const Coflow& c : coflows) remaining.push_back(c.demand);
-  std::vector<char> finished(coflows.size(), 0);
-
-  // Sorted distinct arrival instants: the only replan triggers.
-  std::vector<Time> arrivals;
-  for (const Coflow& c : coflows) arrivals.push_back(c.arrival);
-  std::sort(arrivals.begin(), arrivals.end());
-  arrivals.erase(std::unique(arrivals.begin(), arrivals.end()), arrivals.end());
-
-  Time clock = 0.0;
-  while (true) {
-    // Admit every arrived, unfinished coflow into this planning round.
-    std::vector<int> batch;
-    Time next_arrival = std::numeric_limits<Time>::infinity();
-    for (std::size_t k = 0; k < coflows.size(); ++k) {
-      if (finished[k]) continue;
-      if (coflows[k].arrival <= clock + kTimeEps) {
-        batch.push_back(static_cast<int>(k));
-      } else {
-        next_arrival = std::min(next_arrival, coflows[k].arrival);
-      }
-    }
-    if (batch.empty()) {
-      if (!std::isfinite(next_arrival)) break;  // everything served
-      clock = next_arrival;
-      continue;
-    }
-
-    std::vector<Coflow> local;
-    local.reserve(batch.size());
-    for (std::size_t b = 0; b < batch.size(); ++b) {
-      Coflow c = coflows[batch[b]];
-      c.id = static_cast<int>(b);
-      c.arrival = 0.0;
-      c.demand = remaining[batch[b]];
-      local.push_back(std::move(c));
-    }
-    const std::vector<int> order = order_coflows(local, options.ordering);
-    const SliceSchedule packet = packet_schedule(local, order);
-    const RecoMulSchedule transformed =
-        reco_mul_transform(packet, options.delta, options.c_threshold);
-
-    // Cut at the next arrival: keep only slices that have started by then
-    // (on the local axis).  Their end times were computed assuming the
-    // cancelled batches' halts too, so keeping a prefix stays feasible
-    // (conservatively late).
-    const Time cut = std::isfinite(next_arrival)
-                         ? next_arrival - clock
-                         : std::numeric_limits<Time>::infinity();
-    Time epoch_end = 0.0;
-    for (std::size_t f = 0; f < transformed.real.size(); ++f) {
-      const FlowSlice& s = transformed.real[f];
-      if (s.start > cut + kTimeEps) continue;  // not started by the cut: cancel
-      result.schedule.push_back(
-          {s.start + clock, s.end + clock, s.src, s.dst, coflows[batch[s.coflow]].id});
-      // Transmitted volume is the *pseudo* duration (the real slice is
-      // stretched by all-stop halts, which move no data).
-      Matrix& rem = remaining[batch[s.coflow]];
-      rem.at(s.src, s.dst) = clamp_zero(rem.at(s.src, s.dst) -
-                                        transformed.pseudo[f].duration());
-      epoch_end = std::max(epoch_end, s.end);
-    }
-    // Reconfigurations actually paid: batches that fired before the cut.
-    for (Time t : start_batches(transformed.pseudo)) {
-      if (t <= cut + kTimeEps) ++result.reconfigurations;
-    }
-    ++result.epochs;
-
-    for (std::size_t b = 0; b < batch.size(); ++b) {
-      if (remaining[batch[b]].max_entry() < kMinServiceQuantum && !finished[batch[b]]) {
-        finished[batch[b]] = 1;
-        // Completion = last slice of this coflow in global time.
-        Time done_at = coflows[batch[b]].arrival;
-        for (const FlowSlice& s : result.schedule) {
-          if (s.coflow == coflows[batch[b]].id) done_at = std::max(done_at, s.end);
-        }
-        result.cct[batch[b]] = done_at - coflows[batch[b]].arrival;
-      }
-    }
-
-    // Replan when the kept prefix drains — but never before the arrival
-    // that triggered the cut (nothing new to plan until it lands).
-    clock = std::isfinite(next_arrival) ? std::max(next_arrival, clock + epoch_end)
-                                        : clock + epoch_end;
-  }
-
-  for (std::size_t k = 0; k < coflows.size(); ++k) {
-    result.total_weighted_cct += coflows[k].weight * result.cct[k];
-  }
-  return result;
-}
-
-OnlineScheduleResult fifo_reco_sin(const std::vector<Coflow>& coflows,
-                                   const OnlineOptions& options) {
-  OnlineScheduleResult result;
-  result.cct.assign(coflows.size(), 0.0);
-
-  std::vector<int> order(coflows.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+  // Submission order: nondecreasing arrival, original index as tiebreak —
+  // the admission sequence the event-driven daemon sees.
+  std::vector<int> by_arrival(coflows.size());
+  std::iota(by_arrival.begin(), by_arrival.end(), 0);
+  std::stable_sort(by_arrival.begin(), by_arrival.end(), [&](int a, int b) {
     return coflows[a].arrival < coflows[b].arrival;
   });
 
-  Time clock = 0.0;
-  for (int idx : order) {
-    const Coflow& c = coflows[idx];
-    const Time start = std::max(clock, c.arrival);
-    const CircuitSchedule cs = reco_sin(c.demand, options.delta);
-    const ExecutionResult exec =
-        execute_all_stop(cs, c.demand, options.delta, start, c.id, &result.schedule);
-    clock = start + exec.cct;
-    result.cct[idx] = clock - c.arrival;
-    result.reconfigurations += exec.reconfigurations;
+  OnlineCoreOptions core_options;
+  core_options.delta = options.delta;
+  core_options.c_threshold = options.c_threshold;
+  core_options.ordering = options.ordering;
+  OnlineCore core(policy, core_options);
+  core.reserve(coflows.size());
+
+  const std::size_t n = coflows.size();
+  std::size_t cursor = 0;
+
+  if (core.policy().serialize_batch()) {
+    // FIFO: serve strictly in submission order; each serve starts at
+    // max(clock, arrival), so admission timing cannot reorder anything —
+    // submit lazily and step.
+    Time clock = 0.0;
+    while (cursor < n || !core.idle()) {
+      if (core.idle()) core.submit(coflows[by_arrival[cursor++]]);
+      clock = core.step_fifo(clock);
+    }
+  } else {
+    const bool preempt = core.policy().preempt_on_arrival();
+    Time clock = 0.0;
+    while (cursor < n || !core.idle()) {
+      // Admit everything that has arrived (eps-tolerant boundary, matching
+      // the daemon's ingest_until lookahead).
+      while (cursor < n && coflows[by_arrival[cursor]].arrival <= clock + kTimeEps) {
+        core.submit(coflows[by_arrival[cursor++]]);
+      }
+      if (core.idle()) {
+        clock = coflows[by_arrival[cursor]].arrival;  // fabric idle: jump ahead
+        continue;
+      }
+      const Time next_arrival =
+          cursor < n ? coflows[by_arrival[cursor]].arrival : std::numeric_limits<Time>::infinity();
+      core.plan(clock);
+      // Drain-replan cuts the epoch at the next arrival; epoch batching
+      // runs it to completion.
+      const Time cut =
+          preempt ? next_arrival - clock : std::numeric_limits<Time>::infinity();
+      const Time epoch_end = core.commit(cut);
+      if (preempt && std::isfinite(next_arrival)) {
+        // Replan when the kept prefix drains — but never before the arrival
+        // that triggered the cut (nothing new to plan until it lands).
+        clock = std::max(next_arrival, clock + epoch_end);
+      } else {
+        clock += epoch_end;
+      }
+    }
   }
 
-  for (std::size_t k = 0; k < coflows.size(); ++k) {
-    result.total_weighted_cct += coflows[k].weight * result.cct[k];
+  // Map core results (keyed by admission sequence) back to input positions.
+  const std::vector<Time>& by_seq = core.cct_by_seq();
+  for (std::size_t s = 0; s < by_arrival.size(); ++s) {
+    result.cct[by_arrival[s]] = by_seq[s];
   }
+  result.schedule = core.schedule();
+  result.reconfigurations = core.stats().reconfigurations;
+  result.epochs = core.stats().epochs;
+  result.total_weighted_cct = core.stats().total_weighted_cct;
+  result.digest = core.digest();
   return result;
-}
-
-}  // namespace
-
-OnlineScheduleResult schedule_online(const std::vector<Coflow>& coflows, OnlinePolicy policy,
-                                     const OnlineOptions& options) {
-  switch (policy) {
-    case OnlinePolicy::kEpochRecoMul: return epoch_reco_mul(coflows, options);
-    case OnlinePolicy::kFifoRecoSin: return fifo_reco_sin(coflows, options);
-    case OnlinePolicy::kDrainReplanRecoMul: return drain_replan_reco_mul(coflows, options);
-  }
-  return {};
 }
 
 }  // namespace reco

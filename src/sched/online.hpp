@@ -1,7 +1,7 @@
 // Online multi-coflow scheduling: the paper's stated future direction
 // (Sec. VIII) — coflow demands become known only on arrival.
 //
-// Two non-clairvoyant policies over an event-driven loop:
+// Three non-clairvoyant policies (see sched/online_policy.hpp):
 //
 //  * kEpochRecoMul — batch scheduling: whenever the fabric goes idle, take
 //    every coflow that has arrived and not finished, build a Reco-Mul
@@ -16,31 +16,31 @@
 //    the batch is re-planned including the newcomer.  Strictly more
 //    responsive than epoch batching at the cost of extra reconfigurations.
 //
-// All policies emit a real-time SliceSchedule; CCTs are measured from each
-// coflow's arrival, which is what an online objective scores.
+// `schedule_online` is the batch loop driver over the incremental
+// OnlineCore (sched/online_core.hpp); the event-driven daemon in
+// sim/online_daemon.hpp drives the same core through the EventQueue and
+// produces byte-identical schedules.  CCTs are measured from each coflow's
+// arrival, which is what an online objective scores.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/coflow.hpp"
 #include "core/slice.hpp"
 #include "core/types.hpp"
+#include "sched/online_policy.hpp"
 #include "sched/ordering.hpp"
 
 namespace reco {
-
-enum class OnlinePolicy {
-  kEpochRecoMul,
-  kFifoRecoSin,
-  kDrainReplanRecoMul,
-};
 
 struct OnlineScheduleResult {
   SliceSchedule schedule;        ///< real-time slices across all epochs
   std::vector<Time> cct;         ///< per-coflow CCT measured from arrival
   int reconfigurations = 0;
-  int epochs = 0;                ///< batches executed (kEpochRecoMul only)
+  int epochs = 0;                ///< batch replan rounds (batch policies only)
   Time total_weighted_cct = 0.0;
+  std::uint64_t digest = 0;      ///< FNV-1a over emitted slices (replay witness)
 };
 
 struct OnlineOptions {
@@ -51,7 +51,7 @@ struct OnlineOptions {
 
 /// Simulate the online arrival process for `coflows` (their `arrival`
 /// fields are honoured; they need not be sorted).
-OnlineScheduleResult schedule_online(const std::vector<Coflow>& coflows, OnlinePolicy policy,
+OnlineScheduleResult schedule_online(const std::vector<Coflow>& coflows, OnlinePolicyKind policy,
                                      const OnlineOptions& options = {});
 
 }  // namespace reco

@@ -13,9 +13,11 @@
 //            LP-II-GB.  Falls back to BSSI if the LP solver fails.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/coflow.hpp"
+#include "core/support_index.hpp"
 #include "lp/model.hpp"
 
 namespace reco {
@@ -28,5 +30,33 @@ std::vector<int> lp_order(const std::vector<Coflow>& coflows,
                           const lp::IntervalLpOptions& options = {});
 
 std::vector<int> order_coflows(const std::vector<Coflow>& coflows, OrderingPolicy policy);
+
+/// Reusable buffers for residual-set ordering.  Loads live in one flat
+/// num_coflows x num_ports row-major array, so a long-lived scratch makes
+/// per-epoch reordering allocation-free at steady state.
+struct OrderingScratch {
+  std::vector<double> load;        ///< flat loads, row k = coflow k's 2n ports
+  std::vector<double> w;           ///< residual dual weights (BSSI)
+  std::vector<char> placed;        ///< BSSI placement flags
+  std::vector<double> port_total;  ///< per-port remaining load (BSSI)
+  std::vector<double> key;         ///< SEBF bottleneck keys
+
+  /// Total heap capacity currently held, in elements.
+  std::size_t capacity_footprint() const {
+    return load.capacity() + w.capacity() + placed.capacity() + port_total.capacity() +
+           key.capacity();
+  }
+};
+
+/// Order a residual set (one sparse index + weight per live coflow) into
+/// `order`, a permutation of indices into `residuals`.  Loads come from
+/// `row_sum_exact` / `col_sum_exact`, which match the dense Matrix scans
+/// bit-for-bit, so on equal matrices this returns exactly what
+/// `order_coflows` returns on the corresponding Coflow vector.  kLp falls
+/// back to BSSI here (the interval LP wants whole Coflow objects; residual
+/// replanning is the regime where its solve cost is least affordable).
+void order_residuals_into(const std::vector<const SupportIndex*>& residuals,
+                          const std::vector<double>& weights, OrderingPolicy policy,
+                          OrderingScratch& scratch, std::vector<int>& order);
 
 }  // namespace reco

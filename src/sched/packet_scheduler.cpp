@@ -1,88 +1,101 @@
 #include "sched/packet_scheduler.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 namespace reco {
 
 namespace {
 
-/// Busy intervals of one port, kept sorted and non-overlapping.  Supports
-/// "earliest gap of length d starting at or after t" queries and interval
-/// insertion — the core of insertion-based (backfilling) list scheduling.
-class PortTimeline {
- public:
-  /// Earliest s >= t such that [s, s+d) is free on this port.
-  Time earliest_fit(Time t, Time d) const {
-    for (const auto& [busy_start, busy_end] : busy_) {
-      if (busy_start - t >= d - kTimeEps) break;  // fits before this interval
-      t = std::max(t, busy_end);
+/// Place every flow in scratch.flows (LPT order) for one coflow: each takes
+/// the earliest slot simultaneously free on its ingress and egress port.
+void place_coflow_flows(PacketScratch& scratch, CoflowId id, SliceSchedule& out) {
+  // Longest flows first: within a coflow this is the LPT heuristic that
+  // keeps the coflow's own port makespans balanced.
+  std::sort(scratch.flows.begin(), scratch.flows.end(),
+            [](const PacketFlow& a, const PacketFlow& b) { return a.size > b.size; });
+  for (const PacketFlow& f : scratch.flows) {
+    // Earliest slot free on *both* ports: alternate fixed-point between
+    // the two timelines (each step only moves the candidate forward, and
+    // it converges as soon as both agree).
+    Time t = 0.0;
+    while (true) {
+      const Time t_in = scratch.ingress[f.src].earliest_fit(t, f.size);
+      const Time t_both = scratch.egress[f.dst].earliest_fit(t_in, f.size);
+      if (t_both <= t_in + kTimeEps &&
+          scratch.ingress[f.src].earliest_fit(t_both, f.size) <= t_both + kTimeEps) {
+        t = t_both;
+        break;
+      }
+      t = t_both;
     }
-    return t;
+    const Time end = t + f.size;
+    out.push_back({t, end, f.src, f.dst, id});
+    scratch.ingress[f.src].insert(t, end);
+    scratch.egress[f.dst].insert(t, end);
   }
+}
 
-  void insert(Time start, Time end) {
-    const auto pos = std::lower_bound(
-        busy_.begin(), busy_.end(), start,
-        [](const std::pair<Time, Time>& iv, Time s) { return iv.first < s; });
-    busy_.insert(pos, {start, end});
-  }
-
- private:
-  std::vector<std::pair<Time, Time>> busy_;
-};
+void reset_timelines(PacketScratch& scratch, int n) {
+  scratch.ingress.resize(n);
+  scratch.egress.resize(n);
+  for (PortTimeline& t : scratch.ingress) t.clear();
+  for (PortTimeline& t : scratch.egress) t.clear();
+}
 
 }  // namespace
 
 SliceSchedule packet_schedule(const std::vector<Coflow>& coflows, const std::vector<int>& order) {
+  PacketScratch scratch;
   SliceSchedule out;
-  if (coflows.empty()) return out;
-  const int n = coflows.front().demand.n();
-  std::vector<PortTimeline> ingress(n);
-  std::vector<PortTimeline> egress(n);
+  packet_schedule_into(coflows, order, scratch, out);
+  return out;
+}
 
-  struct Flow {
-    int src;
-    int dst;
-    Time size;
-  };
+void packet_schedule_into(const std::vector<Coflow>& coflows, const std::vector<int>& order,
+                          PacketScratch& scratch, SliceSchedule& out) {
+  out.clear();
+  if (coflows.empty() || order.empty()) return;
+  const int n = coflows.front().demand.n();
+  reset_timelines(scratch, n);
 
   for (int idx : order) {
     const Coflow& c = coflows[idx];
-    std::vector<Flow> flows;
-    flows.reserve(c.demand.nnz());
+    scratch.flows.clear();
+    scratch.flows.reserve(c.demand.nnz());
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < n; ++j) {
         const Time d = c.demand.at(i, j);
-        if (!approx_zero(d)) flows.push_back({i, j, d});
+        if (!approx_zero(d)) scratch.flows.push_back({i, j, d});
       }
     }
-    // Longest flows first: within a coflow this is the LPT heuristic that
-    // keeps the coflow's own port makespans balanced.
-    std::sort(flows.begin(), flows.end(),
-              [](const Flow& a, const Flow& b) { return a.size > b.size; });
-    for (const Flow& f : flows) {
-      // Earliest slot free on *both* ports: alternate fixed-point between
-      // the two timelines (each step only moves the candidate forward, and
-      // it converges as soon as both agree).
-      Time t = 0.0;
-      while (true) {
-        const Time t_in = ingress[f.src].earliest_fit(t, f.size);
-        const Time t_both = egress[f.dst].earliest_fit(t_in, f.size);
-        if (t_both <= t_in + kTimeEps &&
-            ingress[f.src].earliest_fit(t_both, f.size) <= t_both + kTimeEps) {
-          t = t_both;
-          break;
-        }
-        t = t_both;
-      }
-      const Time end = t + f.size;
-      out.push_back({t, end, f.src, f.dst, c.id});
-      ingress[f.src].insert(t, end);
-      egress[f.dst].insert(t, end);
-    }
+    place_coflow_flows(scratch, c.id, out);
   }
-  return out;
+}
+
+void packet_schedule_into(const std::vector<const SupportIndex*>& residuals,
+                          const std::vector<CoflowId>& ids, const std::vector<int>& order,
+                          PacketScratch& scratch, SliceSchedule& out) {
+  out.clear();
+  if (residuals.empty() || order.empty()) return;
+  if (residuals.size() != ids.size()) {
+    throw std::invalid_argument("packet_schedule_into: residuals/ids size mismatch");
+  }
+  const int n = residuals.front()->n();
+  reset_timelines(scratch, n);
+
+  for (int idx : order) {
+    const SupportIndex& r = *residuals[idx];
+    scratch.flows.clear();
+    scratch.flows.reserve(r.nnz());
+    // Support lists are sorted ascending, so this visits the same flows in
+    // the same order as the dense (i, j) scan of the coflow overload.
+    for (int i = 0; i < n; ++i) {
+      for (const int j : r.row_support(i)) scratch.flows.push_back({i, j, r.at(i, j)});
+    }
+    place_coflow_flows(scratch, ids[idx], out);
+  }
 }
 
 }  // namespace reco

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 #include <vector>
 
@@ -12,6 +11,14 @@
 namespace reco {
 
 RecoMulSchedule reco_mul_transform(const SliceSchedule& packet, Time delta, double c) {
+  RecoMulScratch scratch;
+  RecoMulSchedule out;
+  reco_mul_transform_into(packet, delta, c, scratch, out);
+  return out;
+}
+
+void reco_mul_transform_into(const SliceSchedule& packet, Time delta, double c,
+                             RecoMulScratch& scratch, RecoMulSchedule& out) {
   obs::ScopedSpan span("sched.reco_mul_transform", "sched");
   span.arg("slices", static_cast<double>(packet.size()));
   if (c < 1.0) {
@@ -24,7 +31,8 @@ RecoMulSchedule reco_mul_transform(const SliceSchedule& packet, Time delta, doub
   const double stretch = (root_floor + 1.0) / root_floor;  // Alg. 2 Line 6
   const Time quantum = std::sqrt(c) * delta;               // Alg. 2 Line 7
 
-  RecoMulSchedule out;
+  out.pseudo.clear();
+  out.real.clear();
   out.pseudo.reserve(packet.size());
   for (const FlowSlice& s : packet) {
     const double stretched = s.start * stretch;
@@ -42,7 +50,8 @@ RecoMulSchedule reco_mul_transform(const SliceSchedule& packet, Time delta, doub
   // costs extra start batches — exactly the graceful degradation the paper
   // observes at millisecond-scale delta.
   {
-    std::vector<std::size_t> by_start(out.pseudo.size());
+    std::vector<std::size_t>& by_start = scratch.by_start;
+    by_start.resize(out.pseudo.size());
     for (std::size_t f = 0; f < by_start.size(); ++f) by_start[f] = f;
     std::sort(by_start.begin(), by_start.end(), [&](std::size_t a, std::size_t b) {
       if (out.pseudo[a].start != out.pseudo[b].start) {
@@ -50,17 +59,19 @@ RecoMulSchedule reco_mul_transform(const SliceSchedule& packet, Time delta, doub
       }
       return packet[a].start < packet[b].start;  // original priority as tiebreak
     });
-    std::map<PortId, Time> free_in;
-    std::map<PortId, Time> free_out;
+    PortId max_port = -1;
+    for (const FlowSlice& s : out.pseudo) max_port = std::max({max_port, s.src, s.dst});
+    scratch.free_in.assign(static_cast<std::size_t>(max_port + 1), 0.0);
+    scratch.free_out.assign(static_cast<std::size_t>(max_port + 1), 0.0);
     std::uint64_t pushed = 0;  // slices legalization moved off the snap grid
     for (std::size_t f : by_start) {
       FlowSlice& s = out.pseudo[f];
-      const Time start = std::max({s.start, free_in[s.src], free_out[s.dst]});
+      const Time start = std::max({s.start, scratch.free_in[s.src], scratch.free_out[s.dst]});
       if (start > s.start + kTimeEps) ++pushed;
       s.end = start + s.duration();
       s.start = start;
-      free_in[s.src] = s.end;
-      free_out[s.dst] = s.end;
+      scratch.free_in[s.src] = s.end;
+      scratch.free_out[s.dst] = s.end;
     }
     if (obs::enabled()) {
       obs::metrics().counter("reco_mul.calls").inc();
@@ -70,8 +81,7 @@ RecoMulSchedule reco_mul_transform(const SliceSchedule& packet, Time delta, doub
     }
   }
 
-  out.real = inflate_pseudo_time(out.pseudo, delta);
-  return out;
+  inflate_pseudo_time_into(out.pseudo, delta, scratch.batch_scratch, out.real);
 }
 
 }  // namespace reco

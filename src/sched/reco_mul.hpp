@@ -13,6 +13,9 @@
 // Delta*(1 + 1/floor(sqrt(c)))^2 bound of Theorem 3.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "core/slice.hpp"
 #include "core/types.hpp"
 
@@ -23,6 +26,25 @@ struct RecoMulSchedule {
   SliceSchedule real;    ///< S_o: real time, reconfiguration delays injected
 };
 
+/// Reusable buffers for the transform's legalization + inflation passes.
+/// Port "free" times are flat vectors indexed by PortId (a value-initialized
+/// entry is 0.0, exactly what the previous std::map lookup defaulted to), so
+/// a long-lived scratch makes repeated transforms allocation-free once every
+/// buffer has hit its high-water capacity.
+struct RecoMulScratch {
+  std::vector<std::size_t> by_start;
+  std::vector<Time> free_in;
+  std::vector<Time> free_out;
+  std::vector<Time> batch_scratch;  ///< start batches for pseudo-time inflation
+
+  /// Total heap capacity currently held, in elements — the online core's
+  /// alloc-event accounting samples this to prove steady state is flat.
+  std::size_t capacity_footprint() const {
+    return by_start.capacity() + free_in.capacity() + free_out.capacity() +
+           batch_scratch.capacity();
+  }
+};
+
 /// Apply Algorithm 2 to a packet-switch schedule.  Requires c >= 1 (the
 /// optical transmission threshold assumption of Sec. II); throws otherwise.
 ///
@@ -31,5 +53,12 @@ struct RecoMulSchedule {
 /// are feasible even when callers sweep delta over a fixed trace and the
 /// threshold assumption frays (the Fig. 9(a) regime).
 RecoMulSchedule reco_mul_transform(const SliceSchedule& packet, Time delta, double c);
+
+/// In-place twin: same transform, writing into `out` (both schedules cleared
+/// first) and reusing `scratch`.  Produces bit-identical schedules to the
+/// returning variant — the flat port arrays replace map lookups whose
+/// defaults were the same 0.0.
+void reco_mul_transform_into(const SliceSchedule& packet, Time delta, double c,
+                             RecoMulScratch& scratch, RecoMulSchedule& out);
 
 }  // namespace reco

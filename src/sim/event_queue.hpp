@@ -5,8 +5,10 @@
 // against the analytic executors rely on.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -19,37 +21,109 @@ namespace reco::sim {
 /// callables that are themselves move-only (e.g. lambdas capturing a
 /// `unique_ptr`), and dispatch *moves* entries out of the event heap
 /// instead of deep-copying captured state on every event.
+///
+/// Small callables (up to kInlineSize bytes, nothrow-move) live inline —
+/// no heap allocation per event.  The online daemon's handlers capture a
+/// pointer and a generation tag, so a 100k-event arrival stream schedules
+/// without a single EventFn allocation; larger captures transparently fall
+/// back to the heap (`heap_allocated()` reports which path was taken).
 class EventFn {
  public:
+  static constexpr std::size_t kInlineSize = 48;
+
   EventFn() = default;
 
   template <typename F,
             typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
                                         std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  EventFn(F&& fn)  // NOLINT(google-explicit-constructor): callable adaptor
-      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(fn))) {}
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor): callable adaptor
+    using Decayed = std::decay_t<F>;
+    if constexpr (sizeof(InlineModel<Decayed>) <= kInlineSize &&
+                  alignof(InlineModel<Decayed>) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      impl_ = new (buf_) InlineModel<Decayed>(std::forward<F>(fn));
+      inline_ = true;
+    } else {
+      impl_ = new HeapModel<Decayed>(std::forward<F>(fn));
+    }
+  }
 
-  EventFn(EventFn&&) noexcept = default;
-  EventFn& operator=(EventFn&&) noexcept = default;
+  EventFn(EventFn&& other) noexcept { move_from(std::move(other)); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
   EventFn(const EventFn&) = delete;
   EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { destroy(); }
 
   void operator()() { (*impl_)(); }
   explicit operator bool() const { return impl_ != nullptr; }
+  /// True if this callable fell back to a heap allocation (too large or
+  /// potentially-throwing move) — the zero-steady-state-alloc soak asserts
+  /// the daemon's handlers never do.
+  bool heap_allocated() const { return impl_ != nullptr && !inline_; }
 
  private:
   struct Concept {
     virtual ~Concept() = default;
     virtual void operator()() = 0;
+    /// Move-construct a copy of the concrete model into `dst` (inline
+    /// storage relocation); only called on inline models.
+    virtual Concept* relocate_to(void* dst) noexcept = 0;
   };
   template <typename F>
-  struct Model final : Concept {
-    explicit Model(F f) : fn(std::move(f)) {}
+  struct InlineModel final : Concept {
+    explicit InlineModel(F f) noexcept : fn(std::move(f)) {}
     void operator()() override { fn(); }
+    Concept* relocate_to(void* dst) noexcept override {
+      return new (dst) InlineModel<F>(std::move(fn));
+    }
+    F fn;
+  };
+  template <typename F>
+  struct HeapModel final : Concept {
+    explicit HeapModel(F f) : fn(std::move(f)) {}
+    void operator()() override { fn(); }
+    Concept* relocate_to(void*) noexcept override { return nullptr; }  // never inline
     F fn;
   };
 
-  std::unique_ptr<Concept> impl_;
+  void destroy() {
+    if (impl_ == nullptr) return;
+    if (inline_) {
+      impl_->~Concept();
+    } else {
+      delete impl_;
+    }
+    impl_ = nullptr;
+    inline_ = false;
+  }
+
+  void move_from(EventFn&& other) noexcept {
+    if (other.impl_ == nullptr) {
+      impl_ = nullptr;
+      inline_ = false;
+      return;
+    }
+    if (other.inline_) {
+      impl_ = other.impl_->relocate_to(buf_);
+      inline_ = true;
+      other.impl_->~Concept();
+    } else {
+      impl_ = other.impl_;
+      inline_ = false;
+    }
+    other.impl_ = nullptr;
+    other.inline_ = false;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  Concept* impl_ = nullptr;
+  bool inline_ = false;
 };
 
 class EventQueue {
@@ -66,6 +140,10 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   Time now() const { return now_; }
   std::uint64_t events_processed() const { return processed_; }
+  /// Heap-vector capacity in entries — alloc accounting for long runs (the
+  /// daemon keeps a bounded number of outstanding events, so this plateaus
+  /// during warm-up).
+  std::size_t heap_capacity() const { return heap_.capacity(); }
 
  private:
   struct Entry {

@@ -1,0 +1,152 @@
+#include "sim/online_daemon.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace reco::sim {
+
+VectorSource::VectorSource(const std::vector<Coflow>& coflows) : coflows_(&coflows) {
+  by_arrival_.resize(coflows.size());
+  std::iota(by_arrival_.begin(), by_arrival_.end(), 0);
+  // Same stable order as schedule_online's admission sequence.
+  std::stable_sort(by_arrival_.begin(), by_arrival_.end(), [&](int a, int b) {
+    return coflows[a].arrival < coflows[b].arrival;
+  });
+}
+
+const Coflow* VectorSource::peek() {
+  if (cursor_ >= by_arrival_.size()) return nullptr;
+  return &(*coflows_)[static_cast<std::size_t>(by_arrival_[cursor_])];
+}
+
+void VectorSource::pop() { ++cursor_; }
+
+OnlineDaemon::OnlineDaemon(OnlinePolicyKind kind, const OnlineDaemonOptions& options)
+    : core_(kind, options.core) {}
+
+void OnlineDaemon::reserve(std::size_t expected_coflows) { core_.reserve(expected_coflows); }
+
+OnlineDaemonReport OnlineDaemon::run(CoflowSource& source) {
+  source_ = &source;
+  schedule_next_arrival();
+  queue_.run_all();
+  source_ = nullptr;
+
+  OnlineDaemonReport report;
+  report.stats = core_.stats();
+  report.digest = core_.digest();
+  report.events = queue_.events_processed();
+  report.makespan = queue_.now();
+  const DecisionLatencyRecorder& lat = core_.latency();
+  report.decisions = lat.count();
+  report.decision_p50_us = lat.quantile_us(0.5);
+  report.decision_p99_us = lat.quantile_us(0.99);
+  report.decision_mean_us = lat.mean_us();
+  report.decision_max_us = lat.max_us();
+  return report;
+}
+
+std::size_t OnlineDaemon::ingest_until(Time horizon) {
+  std::size_t admitted = 0;
+  while (const Coflow* c = source_->peek()) {
+    if (c->arrival > horizon) break;
+    core_.submit(*c);
+    source_->pop();
+    ++admitted;
+  }
+  return admitted;
+}
+
+void OnlineDaemon::schedule_next_arrival() {
+  if (arrival_pending_) return;
+  const Coflow* c = source_->peek();
+  if (c == nullptr) return;
+  arrival_pending_ = true;
+  queue_.schedule(std::max(c->arrival, queue_.now()), [this] { on_arrival(queue_.now()); });
+}
+
+void OnlineDaemon::on_arrival(Time now) {
+  arrival_pending_ = false;
+  // Fresh fabric = nothing live and nothing pending: any other !running_
+  // state means a replan event is already queued and will pick this up.
+  const bool was_idle = core_.idle() && !running_;
+  const std::size_t admitted = ingest_until(now + kTimeEps);
+  schedule_next_arrival();
+  // An eps-boundary coflow may have been pulled in early by a replan/epoch
+  // lookahead; its arrival event then delivers nothing and must not cut.
+  if (admitted == 0) return;
+
+  if (running_ && core_.policy().preempt_on_arrival()) {
+    // Drain-replan: cut the running plan *now*.  Slices already started
+    // keep running (the kept prefix); everything else is cancelled and the
+    // residual set — plus the newcomer(s) — is replanned once the kept
+    // prefix drains, but never before this arrival instant.
+    ++gen_;  // orphan the held plan's completion event
+    running_ = false;
+    const Time epoch_end = core_.commit(now - plan_base_);
+    const Time replan_at = std::max(now, plan_base_ + epoch_end);
+    const std::uint64_t gen = gen_;
+    queue_.schedule(replan_at, [this, gen] { on_replan(queue_.now(), gen); });
+  } else if (was_idle) {
+    start_if_idle(now);
+  }
+  // running_ under epoch/fifo: newcomers wait for the epoch/serve boundary.
+}
+
+void OnlineDaemon::on_replan(Time now, std::uint64_t gen) {
+  if (gen != gen_ || running_) return;
+  // Late-admission boundary: coflows landing within eps of the replan
+  // instant join this plan, exactly as the loop driver admits them.
+  ingest_until(now + kTimeEps);
+  schedule_next_arrival();
+  start_if_idle(now);
+}
+
+void OnlineDaemon::on_complete(Time now, std::uint64_t gen) {
+  if (gen != gen_) return;
+  running_ = false;
+  if (core_.policy().preempt_on_arrival()) {
+    // No arrival cut this plan: commit it whole.  Every batch coflow
+    // drains, so the fabric goes idle until the next arrival event.
+    core_.commit(std::numeric_limits<Time>::infinity());
+    start_if_idle(now);  // liveness backstop; no-op when idle as expected
+  } else {
+    // Epoch boundary: admit eps-boundary stragglers, then roll the next
+    // epoch immediately if anyone is waiting.
+    ingest_until(now + kTimeEps);
+    schedule_next_arrival();
+    start_if_idle(now);
+  }
+}
+
+void OnlineDaemon::on_fifo_done(Time now, std::uint64_t gen) {
+  if (gen != gen_) return;
+  running_ = false;
+  start_if_idle(now);
+}
+
+void OnlineDaemon::start_if_idle(Time now) {
+  if (running_ || core_.idle()) return;
+  running_ = true;
+  const std::uint64_t gen = gen_;
+  if (core_.policy().serialize_batch()) {
+    const Time done = core_.step_fifo(now);
+    queue_.schedule(std::max(done, now), [this, gen] { on_fifo_done(queue_.now(), gen); });
+  } else if (core_.policy().preempt_on_arrival()) {
+    // Plan and *hold*: commit happens either at the cut (an arrival) or at
+    // the completion event if nothing interrupts.
+    plan_base_ = now;
+    const Time makespan = core_.plan(now);
+    queue_.schedule(now + makespan, [this, gen] { on_complete(queue_.now(), gen); });
+  } else {
+    // Epoch batching is non-preemptive: the whole plan commits up front and
+    // the fabric is busy until it drains.
+    plan_base_ = now;
+    core_.plan(now);
+    const Time epoch_end = core_.commit(std::numeric_limits<Time>::infinity());
+    queue_.schedule(now + epoch_end, [this, gen] { on_complete(queue_.now(), gen); });
+  }
+}
+
+}  // namespace reco::sim

@@ -1,0 +1,135 @@
+// Event-driven online scheduler daemon: the `reco_serve` engine.
+//
+// Coflow arrivals and epoch completions flow through the sim EventQueue;
+// every decision is delegated to the sched-layer OnlineCore, so the daemon
+// produces byte-identical schedules to the batch loop driver
+// (`schedule_online`) — that equivalence is pinned by tests.  What the
+// daemon adds over the loop:
+//
+//  * a pull-based CoflowSource, so a 100k-coflow stream is generated one
+//    coflow at a time instead of materializing the whole workload;
+//  * non-clairvoyant control flow: the loop driver peeks at the next
+//    arrival to place the cut; the daemon only learns of an arrival when
+//    its event fires, and cuts the running plan *then* — same kept prefix,
+//    no lookahead into the future;
+//  * zero steady-state allocation: small-buffer EventFn handlers, slot
+//    recycling in the core, and a bounded number of outstanding events.
+//
+// Event protocol (generation-tagged; a bumped generation orphans every
+// event scheduled under the old one):
+//
+//   arrival(t):  ingest every source coflow with arrival <= t + eps;
+//                drain-replan: cut the running plan at t, replan at
+//                max(t, kept-prefix end); epoch/fifo: start work iff idle.
+//   replan(t):   ingest <= t + eps (late admissions between cut and replan
+//                land exactly as the loop driver admits them), then plan
+//                and hold (drain) — completion scheduled at full makespan.
+//   complete(t): commit the whole plan (nothing cut it), then replan if
+//                anything is still live.
+//   fifo_done(t): serve the next admitted coflow, if any.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coflow.hpp"
+#include "core/types.hpp"
+#include "sched/online_core.hpp"
+#include "sim/event_queue.hpp"
+
+namespace reco::sim {
+
+/// Pull-based arrival stream, sorted by nondecreasing arrival time.
+class CoflowSource {
+ public:
+  virtual ~CoflowSource() = default;
+  /// Next coflow, or nullptr when the stream is exhausted.  The pointee is
+  /// valid until the next pop() (sources may reuse one buffer).
+  virtual const Coflow* peek() = 0;
+  virtual void pop() = 0;
+};
+
+/// Adapts a materialized workload (sorted or not) into a CoflowSource.
+class VectorSource final : public CoflowSource {
+ public:
+  explicit VectorSource(const std::vector<Coflow>& coflows);
+  const Coflow* peek() override;
+  void pop() override;
+
+ private:
+  const std::vector<Coflow>* coflows_;
+  std::vector<int> by_arrival_;
+  std::size_t cursor_ = 0;
+};
+
+/// Adapts any pull-style producer with `const Coflow* peek()` / `void pop()`
+/// (e.g. trace::ArrivalStream, which lives below sim in the layer graph and
+/// cannot inherit from CoflowSource) into a CoflowSource.
+template <typename S>
+class PullSource final : public CoflowSource {
+ public:
+  explicit PullSource(S& stream) : stream_(&stream) {}
+  const Coflow* peek() override { return stream_->peek(); }
+  void pop() override { stream_->pop(); }
+
+ private:
+  S* stream_;
+};
+
+struct OnlineDaemonOptions {
+  OnlineCoreOptions core;
+};
+
+/// End-of-run summary: core stats plus the daemon-level determinism and
+/// latency evidence the acceptance tests key on.
+struct OnlineDaemonReport {
+  OnlineCoreStats stats;
+  std::uint64_t digest = 0;          ///< FNV-1a over every emitted slice
+  std::uint64_t events = 0;          ///< EventQueue dispatches
+  Time makespan = 0.0;               ///< sim clock when the queue drained
+  double decision_p50_us = 0.0;      ///< per-decision latency quantiles
+  double decision_p99_us = 0.0;
+  double decision_mean_us = 0.0;
+  double decision_max_us = 0.0;
+  std::uint64_t decisions = 0;
+};
+
+class OnlineDaemon {
+ public:
+  OnlineDaemon(OnlinePolicyKind kind, const OnlineDaemonOptions& options = {});
+
+  /// Pre-size core buffers for an expected stream length.
+  void reserve(std::size_t expected_coflows);
+
+  /// Drive the event loop until the source is exhausted and every admitted
+  /// coflow has finished.  One daemon runs one stream.
+  OnlineDaemonReport run(CoflowSource& source);
+
+  const OnlineCore& core() const { return core_; }
+
+ private:
+  void on_arrival(Time now);
+  void on_replan(Time now, std::uint64_t gen);
+  void on_complete(Time now, std::uint64_t gen);
+  void on_fifo_done(Time now, std::uint64_t gen);
+
+  /// Submit every source coflow with arrival <= horizon; returns how many.
+  /// Mirrors the loop driver's eps-tolerant admission boundary.
+  std::size_t ingest_until(Time horizon);
+  void schedule_next_arrival();
+  void start_if_idle(Time now);
+
+  OnlineCore core_;
+  EventQueue queue_;
+  CoflowSource* source_ = nullptr;
+  /// Bumped whenever a cut invalidates in-flight completion/replan events.
+  std::uint64_t gen_ = 0;
+  /// Absolute end of the committed (kept) prefix still occupying the
+  /// fabric; replans never start earlier.
+  Time busy_until_ = 0.0;
+  Time plan_base_ = 0.0;
+  bool running_ = false;          ///< a plan/epoch/serve is outstanding
+  bool arrival_pending_ = false;  ///< an arrival event is in the queue
+};
+
+}  // namespace reco::sim

@@ -64,16 +64,19 @@ std::uint64_t coflow_seed(std::uint64_t seed, std::uint64_t k) {
   return z ^ (z >> 31);
 }
 
-/// Synthesize coflow k in isolation.  `gap_out` receives the coflow's
+/// Synthesize coflow k in isolation, writing into a caller-owned buffer
+/// (demand storage and the row/col index scratch are reused across calls —
+/// allocation-free once warm).  `gap_out` receives the coflow's
 /// exponential inter-arrival gap; arrivals are prefix-summed by the caller
 /// (the only cross-coflow coupling in the generator).
-Coflow synthesize_coflow(const GeneratorOptions& options, int k, Time& gap_out) {
+void synthesize_coflow_into(const GeneratorOptions& options, int k, std::vector<int>& rows_buf,
+                            std::vector<int>& cols_buf, Time& gap_out, Coflow& c) {
   Rng rng(coflow_seed(options.seed, static_cast<std::uint64_t>(k)));
   const int n = options.num_ports;
   const Time min_demand = options.c_threshold * options.delta;
 
-  Coflow c;
   c.id = k;
+  c.arrival = 0.0;
   c.weight = options.unit_weights ? 1.0 : rng.uniform();
   gap_out = 0.0;
   if (options.mean_interarrival > 0.0) {
@@ -82,7 +85,7 @@ Coflow synthesize_coflow(const GeneratorOptions& options, int k, Time& gap_out) 
     if (u <= 0.0) u = 0x1.0p-53;
     gap_out = -options.mean_interarrival * std::log(u);
   }
-  c.demand = Matrix(n);
+  c.demand.zero(n);
 
   // Mode first (Table II count mix), then shape.
   const double mode_draw = rng.uniform();
@@ -107,8 +110,8 @@ Coflow synthesize_coflow(const GeneratorOptions& options, int k, Time& gap_out) 
     sample_m2m_shape(rng, n, cls, num_rows, num_cols);
   }
 
-  std::vector<int> rows_buf(n);
-  std::vector<int> cols_buf(n);
+  rows_buf.resize(n);
+  cols_buf.resize(n);
   rng.sample_distinct(n, num_rows, rows_buf.data());
   rng.sample_distinct(n, num_cols, cols_buf.data());
 
@@ -138,7 +141,6 @@ Coflow synthesize_coflow(const GeneratorOptions& options, int k, Time& gap_out) 
       c.demand.at(rows_buf[ii], cols_buf[jj]) = d;
     }
   }
-  return c;
 }
 
 }  // namespace
@@ -149,8 +151,11 @@ std::vector<Coflow> generate_workload(const GeneratorOptions& options) {
   }
   std::vector<Coflow> coflows(options.num_coflows);
   std::vector<Time> gaps(options.num_coflows, 0.0);
-  runtime::parallel_for(options.num_coflows,
-                        [&](int k) { coflows[k] = synthesize_coflow(options, k, gaps[k]); });
+  runtime::parallel_for(options.num_coflows, [&](int k) {
+    std::vector<int> rows_buf;
+    std::vector<int> cols_buf;
+    synthesize_coflow_into(options, k, rows_buf, cols_buf, gaps[k], coflows[k]);
+  });
 
   // Arrival times are the prefix sums of the per-coflow gaps — the one
   // sequential dependency, applied after the parallel synthesis.
@@ -160,6 +165,32 @@ std::vector<Coflow> generate_workload(const GeneratorOptions& options) {
     coflows[k].arrival = arrival_clock;
   }
   return coflows;
+}
+
+ArrivalStream::ArrivalStream(const GeneratorOptions& options) : options_(options) {
+  if (options_.num_ports < 2) {
+    throw std::invalid_argument("ArrivalStream: need at least 2 ports");
+  }
+}
+
+const Coflow* ArrivalStream::peek() {
+  if (next_ >= options_.num_coflows) return nullptr;
+  if (!ready_) {
+    Time gap = 0.0;
+    synthesize_coflow_into(options_, next_, rows_buf_, cols_buf_, gap, buf_);
+    // Same prefix-sum accumulation order as generate_workload, so arrival
+    // times match bit for bit.
+    arrival_clock_ += gap;
+    buf_.arrival = arrival_clock_;
+    ready_ = true;
+  }
+  return &buf_;
+}
+
+void ArrivalStream::pop() {
+  if (peek() == nullptr) return;
+  ++next_;
+  ready_ = false;
 }
 
 }  // namespace reco

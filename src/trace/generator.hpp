@@ -61,4 +61,35 @@ struct GeneratorOptions {
 /// Generate a deterministic workload; coflow ids are 0..num_coflows-1.
 std::vector<Coflow> generate_workload(const GeneratorOptions& options);
 
+/// Streaming variant of `generate_workload`: synthesizes coflows lazily,
+/// one at a time, into a single reused buffer — O(1) memory in stream
+/// length, and allocation-free once warm.  Produces the *same* coflow
+/// sequence bit for bit (each coflow draws from its own splitmix64 stream;
+/// arrivals are the same prefix-summed gaps), so a daemon fed by an
+/// ArrivalStream replays identically to one fed the materialized workload.
+///
+/// Pull interface matches sim::CoflowSource: the pointer returned by
+/// peek() is valid until the next pop().
+class ArrivalStream {
+ public:
+  explicit ArrivalStream(const GeneratorOptions& options);
+
+  /// Next coflow (synthesized on first call), or nullptr when the
+  /// configured `num_coflows` have all been produced.
+  const Coflow* peek();
+  void pop();
+
+  /// Coflows handed out so far (popped).
+  int produced() const { return next_; }
+
+ private:
+  GeneratorOptions options_;
+  Coflow buf_;
+  std::vector<int> rows_buf_;
+  std::vector<int> cols_buf_;
+  Time arrival_clock_ = 0.0;
+  int next_ = 0;
+  bool ready_ = false;
+};
+
 }  // namespace reco

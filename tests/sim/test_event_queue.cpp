@@ -2,12 +2,52 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
 
 namespace reco::sim {
 namespace {
+
+TEST(EventFn, SmallCallablesStayInline) {
+  int hits = 0;
+  EventFn small([&hits] { ++hits; });  // one pointer capture: fits the SBO
+  EXPECT_FALSE(small.heap_allocated());
+  small();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFn, LargeCapturesFallBackToHeap) {
+  std::array<char, 128> big{};
+  big[0] = 7;
+  int sum = 0;
+  EventFn fn([big, &sum] { sum += big[0]; });
+  EXPECT_TRUE(fn.heap_allocated());
+  fn();
+  EXPECT_EQ(sum, 7);
+}
+
+TEST(EventFn, MovePreservesInlineStorageAndBehaviour) {
+  int hits = 0;
+  EventFn a([&hits] { ++hits; });
+  EventFn b(std::move(a));
+  EXPECT_FALSE(b.heap_allocated());
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): moved-from is empty
+  b();
+  EventFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, MoveOnlyCallablesWork) {
+  auto owned = std::make_unique<int>(41);
+  int got = 0;
+  EventFn fn([p = std::move(owned), &got] { got = *p + 1; });
+  fn();
+  EXPECT_EQ(got, 42);
+}
 
 TEST(EventQueue, RunsInTimeOrder) {
   EventQueue q;

@@ -1,0 +1,165 @@
+// Event-driven daemon equivalence and steady-state behaviour.
+//
+// The load-bearing property: OnlineDaemon drives the same OnlineCore as
+// the batch loop driver `schedule_online`, through arrival/completion
+// events instead of a clairvoyant loop — and the emitted schedules are
+// byte-identical (FNV digest over every slice), across policies, seeds,
+// and thread counts.
+#include "sim/online_daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "sched/online.hpp"
+#include "trace/generator.hpp"
+
+namespace reco::sim {
+namespace {
+
+GeneratorOptions stream_options(std::uint64_t seed, int coflows = 30, int ports = 12,
+                                Time gap = 0.01) {
+  GeneratorOptions o;
+  o.num_ports = ports;
+  o.num_coflows = coflows;
+  o.seed = seed;
+  o.mean_interarrival = gap;
+  return o;
+}
+
+OnlineDaemonReport run_daemon(const std::vector<Coflow>& coflows, OnlinePolicyKind kind) {
+  VectorSource source(coflows);
+  OnlineDaemon daemon(kind);
+  daemon.reserve(coflows.size());
+  return daemon.run(source);
+}
+
+class DaemonPolicyTest : public ::testing::TestWithParam<OnlinePolicyKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, DaemonPolicyTest,
+                         ::testing::Values(OnlinePolicyKind::kEpochRecoMul,
+                                           OnlinePolicyKind::kFifoRecoSin,
+                                           OnlinePolicyKind::kDrainReplanRecoMul),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case OnlinePolicyKind::kEpochRecoMul: return "EpochRecoMul";
+                             case OnlinePolicyKind::kFifoRecoSin: return "FifoRecoSin";
+                             case OnlinePolicyKind::kDrainReplanRecoMul: return "DrainReplan";
+                           }
+                           return "Unknown";
+                         });
+
+TEST_P(DaemonPolicyTest, MatchesLoopDriverByteForByte) {
+  for (const std::uint64_t seed : {411u, 412u, 413u}) {
+    const auto coflows = generate_workload(stream_options(seed));
+    const OnlineScheduleResult loop = schedule_online(coflows, GetParam());
+    const OnlineDaemonReport daemon = run_daemon(coflows, GetParam());
+    EXPECT_EQ(daemon.digest, loop.digest) << "seed " << seed;
+    EXPECT_EQ(daemon.stats.reconfigurations, loop.reconfigurations) << "seed " << seed;
+    EXPECT_EQ(daemon.stats.epochs, loop.epochs) << "seed " << seed;
+    EXPECT_NEAR(daemon.stats.total_weighted_cct, loop.total_weighted_cct, 1e-9)
+        << "seed " << seed;
+    EXPECT_EQ(daemon.stats.finished, coflows.size()) << "seed " << seed;
+  }
+}
+
+TEST_P(DaemonPolicyTest, EmptySourceIsANoOp) {
+  const std::vector<Coflow> none;
+  const OnlineDaemonReport r = run_daemon(none, GetParam());
+  EXPECT_EQ(r.stats.submitted, 0u);
+  EXPECT_EQ(r.events, 0u);
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+}
+
+TEST_P(DaemonPolicyTest, AllArrivalsAtZeroStillDrain) {
+  GeneratorOptions o = stream_options(414, 10, 10, 0.0);  // every arrival at t=0
+  const auto coflows = generate_workload(o);
+  const OnlineDaemonReport r = run_daemon(coflows, GetParam());
+  EXPECT_EQ(r.stats.finished, coflows.size());
+  EXPECT_EQ(r.digest, schedule_online(coflows, GetParam()).digest);
+}
+
+// S4: every decision is a pure function of the submitted coflows, so the
+// daemon replays byte-identically regardless of the runtime's thread count.
+TEST_P(DaemonPolicyTest, ByteIdenticalAcrossThreadCounts) {
+  const auto coflows = generate_workload(stream_options(415));
+  runtime::set_thread_count(1);
+  const OnlineDaemonReport serial = run_daemon(coflows, GetParam());
+  runtime::set_thread_count(4);
+  const OnlineDaemonReport parallel = run_daemon(coflows, GetParam());
+  runtime::set_thread_count(0);  // restore default
+  EXPECT_EQ(serial.digest, parallel.digest);
+  EXPECT_EQ(serial.stats.reconfigurations, parallel.stats.reconfigurations);
+  EXPECT_DOUBLE_EQ(serial.stats.total_weighted_cct, parallel.stats.total_weighted_cct);
+}
+
+TEST(OnlineDaemon, ArrivalStreamFeedsIdenticallyToMaterializedWorkload) {
+  const GeneratorOptions o = stream_options(416, 40, 10, 0.02);
+  const auto coflows = generate_workload(o);
+  const OnlineDaemonReport from_vector =
+      run_daemon(coflows, OnlinePolicyKind::kDrainReplanRecoMul);
+
+  ArrivalStream stream(o);
+  PullSource<ArrivalStream> source(stream);
+  OnlineDaemon daemon(OnlinePolicyKind::kDrainReplanRecoMul);
+  daemon.reserve(o.num_coflows);
+  const OnlineDaemonReport from_stream = daemon.run(source);
+
+  EXPECT_EQ(from_stream.digest, from_vector.digest);
+  EXPECT_EQ(from_stream.stats.finished, from_vector.stats.finished);
+  EXPECT_EQ(stream.produced(), o.num_coflows);
+}
+
+// The tentpole's steady-state claim: once warm, a stationary arrival load
+// causes zero further allocation events.  Tile the same coflow block with a
+// drain gap between repetitions: every block after the first re-seats
+// recycled slots and reuses pre-grown scratch, so the capacity high-water
+// mark set during warm-up must never move again.  (A raw Poisson stream is
+// not stationary enough for an exact-zero assertion — its concurrency and
+// shape maxima keep setting records at a slowly decaying rate.)
+TEST(OnlineDaemon, ZeroSteadyStateAllocationAfterWarmup) {
+  const auto block = generate_workload(stream_options(417, 25, 10, 0.05));
+  Time block_span = 0.0;
+  for (const Coflow& c : block) block_span = std::max(block_span, c.arrival);
+  const Time period = block_span + 30.0;  // idle drain between blocks
+
+  auto tiled = [&](int blocks) {
+    std::vector<Coflow> coflows;
+    coflows.reserve(block.size() * static_cast<std::size_t>(blocks));
+    for (int t = 0; t < blocks; ++t) {
+      for (const Coflow& c : block) {
+        Coflow shifted = c;
+        shifted.arrival = c.arrival + t * period;
+        shifted.id = c.id + t * 1000;
+        coflows.push_back(shifted);
+      }
+    }
+    return coflows;
+  };
+
+  for (const OnlinePolicyKind kind :
+       {OnlinePolicyKind::kEpochRecoMul, OnlinePolicyKind::kFifoRecoSin,
+        OnlinePolicyKind::kDrainReplanRecoMul}) {
+    OnlineDaemonOptions opt;
+    // Soak configuration: the unbounded result buffers are the only state
+    // allowed to grow with stream length, so turn them off to expose the
+    // engine's own footprint.
+    opt.core.record_schedule = false;
+    opt.core.record_cct = false;
+    auto allocs = [&](int blocks) {
+      const auto coflows = tiled(blocks);
+      VectorSource source(coflows);
+      OnlineDaemon daemon(kind, opt);
+      return daemon.run(source).stats.alloc_events;
+    };
+    const std::uint64_t warm = allocs(4);
+    EXPECT_GT(warm, 0u) << to_string(kind);
+    EXPECT_EQ(allocs(8), warm) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace reco::sim

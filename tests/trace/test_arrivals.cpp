@@ -38,6 +38,39 @@ TEST(Arrivals, MeanGapRoughlyAsConfigured) {
   EXPECT_NEAR(mean_gap, 0.01, 0.002);  // exponential gaps, 2000 samples
 }
 
+TEST(ArrivalStream, BitIdenticalToMaterializedWorkload) {
+  GeneratorOptions o = base();
+  o.num_coflows = 60;
+  o.mean_interarrival = 0.01;
+  const auto coflows = generate_workload(o);
+  ArrivalStream stream(o);
+  for (const Coflow& expected : coflows) {
+    const Coflow* got = stream.peek();
+    ASSERT_NE(got, nullptr) << "stream ended early at coflow " << expected.id;
+    EXPECT_EQ(got->id, expected.id);
+    EXPECT_DOUBLE_EQ(got->arrival, expected.arrival);
+    EXPECT_DOUBLE_EQ(got->weight, expected.weight);
+    EXPECT_EQ(got->demand, expected.demand);
+    stream.pop();
+  }
+  EXPECT_EQ(stream.peek(), nullptr);
+  EXPECT_EQ(stream.produced(), o.num_coflows);
+}
+
+TEST(ArrivalStream, PeekIsIdempotentAndPopPastEndIsSafe) {
+  GeneratorOptions o = base();
+  o.num_coflows = 2;
+  ArrivalStream stream(o);
+  const Coflow* first = stream.peek();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(stream.peek(), first);  // same buffer, no re-synthesis
+  stream.pop();
+  stream.pop();
+  EXPECT_EQ(stream.peek(), nullptr);
+  stream.pop();  // harmless
+  EXPECT_EQ(stream.produced(), 2);
+}
+
 TEST(Arrivals, ArrivalsDoNotPerturbDemands) {
   // Adding an arrival process must not change the demand stream (it draws
   // from the same RNG, so this guards the draw ordering).
