@@ -12,14 +12,15 @@
 //
 // `--baseline_json=FILE` writes a machine-readable baseline
 // (name -> {ns_per_op, nnz, N}); see docs/SIMULATOR.md for how
-// BENCH_microkernels.json is regenerated.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
+// BENCH_microkernels.json is regenerated.  Timing and reporting come from
+// the shared harness in bench_util.hpp: 0.05 s min time x 3 repetitions,
+// median recorded (robust to scheduler-noise outliers).
+#define RECO_BENCH_WITH_GBENCH
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "bvn/bvn.hpp"
 #include "bvn/dense_reference.hpp"
 #include "bvn/regularization.hpp"
@@ -349,99 +350,29 @@ void BM_WorkloadGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadGeneration)->Arg(64)->Arg(526);
 
-// ---- baseline reporter ---------------------------------------------------
+// ---- baseline derived metrics --------------------------------------------
 
-/// Console output plus an in-memory collection of per-benchmark results,
-/// flushed to `--baseline_json=FILE` as {name: {ns_per_op, nnz, N}}.
-class BaselineReporter : public benchmark::ConsoleReporter {
- public:
-  struct Row {
-    std::string name;
-    double ns_per_op = 0.0;
-    double nnz = 0.0;
-    double n = 0.0;
+/// Headline metrics appended to the baseline JSON: the telemetry
+/// enabled/disabled delta on the peel kernel (the <2% disabled-overhead
+/// acceptance budget lives in the Off twin) and the engine-vs-seed speedup
+/// on the headline sparse config (the >= 3x bar of the amortized-engine
+/// work).  Zero-valued inputs yield non-finite ratios, which the harness
+/// drops.
+std::vector<std::pair<std::string, double>> derived_metrics(
+    const std::vector<bench::gbench::Row>& rows) {
+  using bench::gbench::row_ns;
+  const double peel_off = row_ns(rows, "BM_BvnPeelSparseTelemetryOff/128/200");
+  const double peel_on = row_ns(rows, "BM_BvnPeelSparseTelemetryOn/128/200");
+  const double seed_ns = row_ns(rows, "BM_BottleneckMatchingSeedSparse/128/200");
+  const double engine_ns = row_ns(rows, "BM_BottleneckMatchingSparse/128/200");
+  return {
+      {"telemetry_overhead_pct", 100.0 * (peel_on - peel_off) / peel_off},
+      {"bottleneck_speedup_vs_seed", seed_ns / engine_ns},
   };
-
-  void ReportRuns(const std::vector<Run>& reports) override {
-    for (const Run& run : reports) {
-      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
-      Row row;
-      row.name = run.benchmark_name();
-      row.ns_per_op = run.GetAdjustedRealTime();  // default time unit: ns
-      const auto nnz = run.counters.find("nnz");
-      const auto n = run.counters.find("N");
-      if (nnz != run.counters.end()) row.nnz = nnz->second.value;
-      if (n != run.counters.end()) row.n = n->second.value;
-      rows_.push_back(std::move(row));
-    }
-    ConsoleReporter::ReportRuns(reports);
-  }
-
-  bool write_json(const std::string& path) const {
-    // Telemetry-enabled vs -disabled delta on the peel kernel (the <2%
-    // disabled-overhead acceptance budget lives in the Off twin).
-    double peel_off = 0.0;
-    double peel_on = 0.0;
-    // Engine-vs-seed speedup on the headline sparse config (the >= 3x
-    // acceptance bar of the amortized-engine work lives on this row pair).
-    double seed_ns = 0.0;
-    double engine_ns = 0.0;
-    for (const Row& r : rows_) {
-      if (r.name.rfind("BM_BvnPeelSparseTelemetryOff", 0) == 0) peel_off = r.ns_per_op;
-      if (r.name.rfind("BM_BvnPeelSparseTelemetryOn", 0) == 0) peel_on = r.ns_per_op;
-      if (r.name == "BM_BottleneckMatchingSeedSparse/128/200") seed_ns = r.ns_per_op;
-      if (r.name == "BM_BottleneckMatchingSparse/128/200") engine_ns = r.ns_per_op;
-    }
-    const bool have_overhead = peel_off > 0.0 && peel_on > 0.0;
-    const bool have_speedup = seed_ns > 0.0 && engine_ns > 0.0;
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    std::fprintf(f, "{\n");
-    for (std::size_t k = 0; k < rows_.size(); ++k) {
-      const Row& r = rows_[k];
-      std::fprintf(f, "  \"%s\": {\"ns_per_op\": %.1f, \"nnz\": %.0f, \"N\": %.0f}%s\n",
-                   r.name.c_str(), r.ns_per_op, r.nnz, r.n,
-                   (k + 1 < rows_.size() || have_overhead || have_speedup) ? "," : "");
-    }
-    if (have_overhead) {
-      std::fprintf(f, "  \"telemetry_overhead_pct\": %.2f%s\n",
-                   100.0 * (peel_on - peel_off) / peel_off, have_speedup ? "," : "");
-    }
-    if (have_speedup) {
-      std::fprintf(f, "  \"bottleneck_speedup_vs_seed\": %.2f\n", seed_ns / engine_ns);
-    }
-    std::fprintf(f, "}\n");
-    std::fclose(f);
-    return true;
-  }
-
- private:
-  std::vector<Row> rows_;
-};
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string baseline_path;
-  std::vector<char*> args;
-  for (int a = 0; a < argc; ++a) {
-    const std::string arg = argv[a];
-    constexpr const char* kFlag = "--baseline_json=";
-    if (arg.rfind(kFlag, 0) == 0) {
-      baseline_path = arg.substr(std::string(kFlag).size());
-    } else {
-      args.push_back(argv[a]);
-    }
-  }
-  int argn = static_cast<int>(args.size());
-  benchmark::Initialize(&argn, args.data());
-  if (benchmark::ReportUnrecognizedArguments(argn, args.data())) return 1;
-  BaselineReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  if (!baseline_path.empty() && !reporter.write_json(baseline_path)) {
-    std::fprintf(stderr, "failed to write %s\n", baseline_path.c_str());
-    return 1;
-  }
-  benchmark::Shutdown();
-  return 0;
+  return reco::bench::gbench::run_main(argc, argv, {"nnz", "N"}, derived_metrics);
 }

@@ -8,15 +8,15 @@
 // `--baseline_json=FILE` writes a machine-readable baseline
 // (name -> {ns_per_op, p99_us, N}) plus derived headline metrics; CI's
 // perf-guard gates BM_OnlineDecisionLatency against the committed
-// BENCH_online.json.
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
+// BENCH_online.json.  Timing and reporting come from the shared harness in
+// bench_util.hpp (0.05 s min time x 3 repetitions, median recorded).
+#define RECO_BENCH_WITH_GBENCH
 #include <limits>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/coflow.hpp"
 #include "sched/online_core.hpp"
 #include "sim/online_daemon.hpp"
@@ -121,84 +121,22 @@ void BM_OnlineDaemonThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_OnlineDaemonThroughput)->Arg(100)->Arg(400);
 
-// ---- baseline reporter ---------------------------------------------------
+// ---- baseline derived metrics --------------------------------------------
 
-/// Console output plus an in-memory collection of per-benchmark results,
-/// flushed to `--baseline_json=FILE` as {name: {ns_per_op, p99_us, N}}.
-class BaselineReporter : public benchmark::ConsoleReporter {
- public:
-  struct Row {
-    std::string name;
-    double ns_per_op = 0.0;
-    double p99_us = 0.0;
-    double n = 0.0;
-  };
-
-  void ReportRuns(const std::vector<Run>& reports) override {
-    for (const Run& run : reports) {
-      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
-      Row row;
-      row.name = run.benchmark_name();
-      row.ns_per_op = run.GetAdjustedRealTime();  // default time unit: ns
-      const auto p99 = run.counters.find("p99_us");
-      const auto n = run.counters.find("N");
-      if (p99 != run.counters.end()) row.p99_us = p99->second.value;
-      if (n != run.counters.end()) row.n = n->second.value;
-      rows_.push_back(std::move(row));
+/// Headline: the decision-latency p99 on the largest replan shape.
+std::vector<std::pair<std::string, double>> derived_metrics(
+    const std::vector<bench::gbench::Row>& rows) {
+  for (const auto& r : rows) {
+    if (r.name == "BM_OnlineDecisionLatency/32/16") {
+      const double p99 = r.counter("p99_us");
+      if (p99 > 0.0) return {{"online_decision_p99_us", p99}};
     }
-    ConsoleReporter::ReportRuns(reports);
   }
-
-  bool write_json(const std::string& path) const {
-    // Headline: the decision-latency p99 on the largest replan shape.
-    double headline_p99 = 0.0;
-    for (const Row& r : rows_) {
-      if (r.name == "BM_OnlineDecisionLatency/32/16") headline_p99 = r.p99_us;
-    }
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    std::fprintf(f, "{\n");
-    for (std::size_t k = 0; k < rows_.size(); ++k) {
-      const Row& r = rows_[k];
-      std::fprintf(f, "  \"%s\": {\"ns_per_op\": %.1f, \"p99_us\": %.1f, \"N\": %.0f}%s\n",
-                   r.name.c_str(), r.ns_per_op, r.p99_us, r.n,
-                   (k + 1 < rows_.size() || headline_p99 > 0.0) ? "," : "");
-    }
-    if (headline_p99 > 0.0) {
-      std::fprintf(f, "  \"online_decision_p99_us\": %.1f\n", headline_p99);
-    }
-    std::fprintf(f, "}\n");
-    std::fclose(f);
-    return true;
-  }
-
- private:
-  std::vector<Row> rows_;
-};
+  return {};
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string baseline_path;
-  std::vector<char*> args;
-  for (int a = 0; a < argc; ++a) {
-    const std::string arg = argv[a];
-    constexpr const char* kFlag = "--baseline_json=";
-    if (arg.rfind(kFlag, 0) == 0) {
-      baseline_path = arg.substr(std::string(kFlag).size());
-    } else {
-      args.push_back(argv[a]);
-    }
-  }
-  int argn = static_cast<int>(args.size());
-  benchmark::Initialize(&argn, args.data());
-  if (benchmark::ReportUnrecognizedArguments(argn, args.data())) return 1;
-  BaselineReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  if (!baseline_path.empty() && !reporter.write_json(baseline_path)) {
-    std::fprintf(stderr, "failed to write %s\n", baseline_path.c_str());
-    return 1;
-  }
-  benchmark::Shutdown();
-  return 0;
+  return reco::bench::gbench::run_main(argc, argv, {"p99_us", "N"}, derived_metrics);
 }

@@ -10,6 +10,12 @@
 // fan-out; results are bit-identical at every thread count.
 // --trace-out=F / --metrics-out=F enable telemetry and flush it at exit
 // (google-benchmark owns main(), so the writers run from an atexit hook).
+//
+// Binaries that are google-benchmark suites (bench_micro_kernels,
+// bench_online_daemon, bench_scale) define RECO_BENCH_WITH_GBENCH before
+// including this header and call bench::gbench::run_main() — the shared
+// baseline reporter with min-time / repetition-median stability controls
+// (see the gbench section at the bottom).
 #pragma once
 
 #include <cstdio>
@@ -169,3 +175,172 @@ inline std::vector<Coflow> unit_weighted(std::vector<Coflow> coflows) {
 }
 
 }  // namespace reco::bench
+
+// ---------------------------------------------------------------------------
+// google-benchmark harness (gbench suites only; guarded so the report-table
+// experiment binaries, which do not link google-benchmark, are unaffected)
+// ---------------------------------------------------------------------------
+#ifdef RECO_BENCH_WITH_GBENCH
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace reco::bench::gbench {
+
+/// One baseline row: the benchmark's time plus every user counter it set.
+struct Row {
+  std::string name;
+  double ns_per_op = 0.0;
+  std::map<std::string, double> counters;
+
+  double counter(const std::string& key) const {
+    const auto it = counters.find(key);
+    return it == counters.end() ? 0.0 : it->second;
+  }
+};
+
+/// Console output plus an in-memory collection of per-benchmark results.
+///
+/// Stability: when repetitions are active (the default injected by
+/// run_main), the recorded figure is the *median* repetition — a single
+/// descheduling blip inflates the mean and is the documented source of the
+/// BM_ThresholdMatchingDense/128/500 outlier in older baselines; the
+/// median is immune to it.  Median aggregate rows are stored under the
+/// bare benchmark name, so baseline JSON keys are identical with and
+/// without repetitions.
+class BaselineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      bool is_median = false;
+      if (run.run_type == Run::RT_Aggregate) {
+        constexpr const char kSuffix[] = "_median";
+        constexpr std::size_t kLen = sizeof(kSuffix) - 1;
+        if (name.size() > kLen && name.compare(name.size() - kLen, kLen, kSuffix) == 0) {
+          name.resize(name.size() - kLen);
+          is_median = true;
+        } else {
+          continue;  // mean/stddev/cv: not baseline material
+        }
+      }
+      Row row;
+      row.name = std::move(name);
+      row.ns_per_op = run.GetAdjustedRealTime();  // default time unit: ns
+      for (const auto& kv : run.counters) row.counters[kv.first] = kv.second.value;
+      upsert(std::move(row), is_median);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  void upsert(Row row, bool is_median) {
+    for (Row& r : rows_) {
+      if (r.name == row.name) {
+        if (is_median) r = std::move(row);  // median supersedes a per-iteration row
+        return;
+      }
+    }
+    rows_.push_back(std::move(row));
+  }
+
+  std::vector<Row> rows_;
+};
+
+inline double row_ns(const std::vector<Row>& rows, const std::string& name) {
+  for (const Row& r : rows) {
+    if (r.name == name) return r.ns_per_op;
+  }
+  return 0.0;
+}
+
+/// Derived headline metrics appended to the baseline JSON (speedup ratios,
+/// overhead percentages); entries with non-finite values are dropped.
+using DerivedFn = std::vector<std::pair<std::string, double>> (*)(const std::vector<Row>&);
+
+inline bool write_baseline_json(const std::string& path, const std::vector<Row>& rows,
+                                const std::vector<std::string>& counter_keys,
+                                const std::vector<std::pair<std::string, double>>& derived) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const Row& r = rows[k];
+    std::fprintf(f, "  \"%s\": {\"ns_per_op\": %.1f", r.name.c_str(), r.ns_per_op);
+    for (const std::string& key : counter_keys) {
+      std::fprintf(f, ", \"%s\": %.1f", key.c_str(), r.counter(key));
+    }
+    std::fprintf(f, "}%s\n", (k + 1 < rows.size() || !derived.empty()) ? "," : "");
+  }
+  for (std::size_t k = 0; k < derived.size(); ++k) {
+    std::fprintf(f, "  \"%s\": %.2f%s\n", derived[k].first.c_str(), derived[k].second,
+                 k + 1 < derived.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Shared main() body for the gbench suites.  Handles `--baseline_json=F`
+/// and `--threads=N`, and injects stability defaults unless the caller
+/// overrides them on the command line: 0.05 s minimum measuring time and
+/// 3 repetitions with aggregate-only reporting (the baseline then records
+/// the median repetition; see BaselineReporter).
+inline int run_main(int argc, char** argv, const std::vector<std::string>& counter_keys,
+                    DerivedFn derived_fn = nullptr) {
+  std::string baseline_path;
+  std::vector<std::string> storage;
+  bool has_min_time = false, has_reps = false, has_aggregates = false;
+  for (int a = 0; a < argc; ++a) {
+    const std::string arg = argv[a];
+    constexpr const char kBaseline[] = "--baseline_json=";
+    constexpr const char kThreads[] = "--threads=";
+    if (arg.rfind(kBaseline, 0) == 0) {
+      baseline_path = arg.substr(sizeof(kBaseline) - 1);
+      continue;
+    }
+    if (arg.rfind(kThreads, 0) == 0) {
+      runtime::set_thread_count(std::atoi(arg.c_str() + sizeof(kThreads) - 1));
+      continue;
+    }
+    if (arg.rfind("--benchmark_min_time", 0) == 0) has_min_time = true;
+    if (arg.rfind("--benchmark_repetitions", 0) == 0) has_reps = true;
+    if (arg.rfind("--benchmark_report_aggregates_only", 0) == 0) has_aggregates = true;
+    storage.push_back(arg);
+  }
+  if (!has_min_time) storage.push_back("--benchmark_min_time=0.05");
+  if (!has_reps) storage.push_back("--benchmark_repetitions=3");
+  if (!has_aggregates) storage.push_back("--benchmark_report_aggregates_only=true");
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int argn = static_cast<int>(args.size());
+  benchmark::Initialize(&argn, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argn, args.data())) return 1;
+  BaselineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!baseline_path.empty()) {
+    auto derived = derived_fn ? derived_fn(reporter.rows())
+                              : std::vector<std::pair<std::string, double>>{};
+    derived.erase(std::remove_if(derived.begin(), derived.end(),
+                                 [](const auto& d) { return !std::isfinite(d.second); }),
+                  derived.end());
+    if (!write_baseline_json(baseline_path, reporter.rows(), counter_keys, derived)) {
+      std::fprintf(stderr, "failed to write %s\n", baseline_path.c_str());
+      return 1;
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace reco::bench::gbench
+
+#endif  // RECO_BENCH_WITH_GBENCH

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "bvn/parallel_peel.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "matching/incremental_matcher.hpp"
 #include "matching/matching_engine.hpp"
@@ -212,6 +213,8 @@ CircuitSchedule bvn_decompose(SupportIndex m, BvnPolicy policy, MatchingScratch&
     }
     case BvnPolicy::kExactBottleneck:
       return peel_exact_bottleneck(std::move(m), scratch);
+    case BvnPolicy::kParallelPeel:
+      return peel_parallel(std::move(m));
   }
   throw std::logic_error("bvn_decompose: unknown policy");
 }

@@ -16,6 +16,12 @@
 //  * kExactBottleneck — true max-min matching each round (binary search +
 //                       Hopcroft-Karp); exact but a log-factor slower.
 //                       Used by tests and ablations.
+//  * kParallelPeel    — kFirstMatching semantics at N >= 1024 scale:
+//                       lazy-key round discovery (heap-driven, O(nnz log N)
+//                       instead of O(N) per round) plus thread-pool
+//                       materialization of the schedule in fixed round
+//                       chunks.  Deterministic at every thread count; see
+//                       bvn/parallel_peel.hpp.
 #pragma once
 
 #include "core/circuit.hpp"
@@ -29,6 +35,7 @@ enum class BvnPolicy {
   kFirstMatching,
   kMaxMinAmortized,
   kExactBottleneck,
+  kParallelPeel,
 };
 
 /// Decompose `m` (must be doubly stochastic; throws otherwise) into a

@@ -280,7 +280,8 @@ std::optional<BottleneckMatching> bottleneck_perfect_matching_reference(const Su
   std::vector<double> values;
   values.reserve(idx.nnz());
   for (int i = 0; i < idx.n(); ++i) {
-    for (const int j : idx.row_support(i)) values.push_back(idx.at(i, j));
+    const auto vals = idx.row_values(i);
+    values.insert(values.end(), vals.begin(), vals.end());
   }
   return bottleneck_reference_impl(idx, std::move(values));
 }
@@ -318,6 +319,10 @@ CircuitSchedule bvn_decompose(Matrix m, BvnPolicy policy) {
     }
     case BvnPolicy::kExactBottleneck:
       return peel_exact_bottleneck(std::move(m));
+    case BvnPolicy::kParallelPeel:
+      // The dense reference has no lazy-key twin; first-matching peeling is
+      // the semantic oracle for the parallel peel's reconstruction tests.
+      return peel(std::move(m), kSupportThreshold, /*halve_on_failure=*/false);
   }
   throw std::logic_error("dense_reference::bvn_decompose: unknown policy");
 }

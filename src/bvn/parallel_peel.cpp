@@ -1,0 +1,345 @@
+#include "bvn/parallel_peel.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "bvn/bvn.hpp"
+#include "core/types.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "obs/obs.hpp"
+#include "runtime/parallel.hpp"
+
+namespace reco {
+
+namespace {
+
+/// Min-heap entry: matched row `row` with key `key` (edge value at join
+/// time plus the coefficient prefix at join time).  `ver` invalidates
+/// stale entries lazily — the heap is never decreased in place.
+struct KeyEntry {
+  double key;
+  int row;
+  int ver;
+};
+
+struct KeyGreater {
+  bool operator()(const KeyEntry& a, const KeyEntry& b) const {
+    if (a.key != b.key) return a.key > b.key;
+    return a.row > b.row;  // deterministic tie-break: lowest row first
+  }
+};
+
+/// Peel telemetry (stable handles, gated on obs::enabled() at call sites).
+struct ParallelPeelMetrics {
+  obs::Counter& rounds = obs::metrics().counter("bvn.peel.parallel_rounds");
+  obs::Counter& diff_edges = obs::metrics().counter("bvn.peel.diff_edges");
+  obs::Counter& chunks = obs::metrics().counter("bvn.peel.chunks");
+  obs::Counter& aborts = obs::metrics().counter("bvn.peel.aborts");
+  obs::Histogram& batch_width =
+      obs::metrics().histogram("bvn.peel.batch_width", obs::pow2_buckets(1024.0));
+  obs::Histogram& freed_per_round =
+      obs::metrics().histogram("bvn.peel.freed_per_round", obs::pow2_buckets(1024.0));
+
+  static ParallelPeelMetrics& get() {
+    static ParallelPeelMetrics m;
+    return m;
+  }
+};
+
+/// Phase-1 state: the lazy-key loop plus the diff log Phase 2 replays.
+struct PeelState {
+  int n = 0;
+  std::vector<int> ml;        ///< current matching, row -> col
+  std::vector<int> mr;        ///< current matching, col -> row
+  std::vector<double> key;    ///< per matched row: value-at-join + C-at-join
+  std::vector<int> ver;       ///< heap-entry version per row
+  std::priority_queue<KeyEntry, std::vector<KeyEntry>, KeyGreater> heap;
+  double C = 0.0;             ///< coefficient prefix sum
+
+  // Diff log: durations[r] plus the (row, new_col) assignments that turn
+  // the round-r matching into the round-(r+1) matching.
+  std::vector<double> durations;
+  std::vector<std::uint32_t> diff_off;  ///< per round, start into diff_row/col
+  std::vector<int> diff_row;
+  std::vector<int> diff_col;
+
+  // Per-round scratch.
+  std::vector<int> freed;       ///< rows zeroed this round, ascending
+  std::vector<int> touched;     ///< rows whose match changed this round
+  std::vector<int> touch_stamp; ///< dedup stamp for `touched`
+  int round_stamp = 0;
+
+  // BFS-repair scratch (shortest augmenting path over the support).
+  std::vector<int> visited;     ///< per-column stamp
+  std::vector<int> queue;       ///< BFS ring of rows
+  std::vector<int> col_parent;  ///< row that discovered each column
+  int visit_stamp = 0;
+
+  void push_key(int row, double k) {
+    key[row] = k;
+    heap.push({k, row, ++ver[row]});
+  }
+
+  void touch(int row) {
+    if (touch_stamp[row] != round_stamp) {
+      touch_stamp[row] = round_stamp;
+      touched.push_back(row);
+    }
+  }
+};
+
+/// Shortest augmenting path from `row` over the *support* of `m`
+/// (support-only: every nonzero is an edge, values never probed — so the
+/// lazy staleness of matched-edge values is invisible here).  BFS, not
+/// Kuhn DFS: every row bumped along the path pays a residual
+/// materialization (an index write), a re-key (a heap push), and a diff
+/// entry, so path length is the whole repair cost — DFS wanders hundreds
+/// of rows deep on the tight support of a late peel, BFS rewires the 2-5
+/// rows of a shortest path.  Deterministic: FIFO row order, support
+/// scanned ascending, first free column discovered wins.
+bool repair_row(SupportIndex& m, PeelState& st, int row) {
+  const int stamp = ++st.visit_stamp;
+  int qh = 0;
+  int qt = 0;
+  st.queue[qt++] = row;
+  int found_j = -1;
+  while (qh < qt && found_j == -1) {
+    const int u = st.queue[qh++];
+    const auto support = m.row_support(u);
+    const int degree = support.size();
+    for (int e = 0; e < degree; ++e) {
+      const int j = support[e];
+      if (st.visited[j] == stamp) continue;
+      st.visited[j] = stamp;
+      st.col_parent[j] = u;
+      const int other = st.mr[j];
+      if (other == -1) {
+        found_j = j;
+        break;
+      }
+      st.queue[qt++] = other;
+    }
+  }
+  if (found_j == -1) return false;
+  // Unwind via the parent pointers.  Every row above the source leaves
+  // its matched column — materialize that edge's residual (key - C; it
+  // survived the zero set, so the residual is >= kTimeEps and the entry
+  // stays in the support) and re-key the row on its new column.
+  int j = found_j;
+  while (true) {
+    const int r = st.col_parent[j];
+    const int prev = st.ml[r];  // -1 iff r is the freed source row
+    if (prev != -1) m.set(r, prev, st.key[r] - st.C);
+    st.ml[r] = j;
+    st.mr[j] = r;
+    st.push_key(r, m.at(r, j) + st.C);
+    st.touch(r);
+    if (r == row) break;
+    j = prev;
+  }
+  return true;
+}
+
+/// Write every lazily-deferred matched residual back into the index.
+/// Called before falling back to cover_decompose, which reads true values.
+void flush_residuals(SupportIndex& m, PeelState& st) {
+  for (int i = 0; i < st.n; ++i) {
+    if (st.ml[i] != -1) m.set(i, st.ml[i], st.key[i] - st.C);
+  }
+}
+
+/// Phase 2: materialize the schedule from the diff log, in fixed-size
+/// round chunks over the thread pool.  A sequential replay first records
+/// the matching at each chunk boundary; each chunk then replays its own
+/// rounds from its snapshot.  Identical output at every thread count.
+void materialize_schedule(const PeelState& st, CircuitSchedule& schedule) {
+  const int rounds = static_cast<int>(st.durations.size());
+  if (rounds == 0) return;
+  const int n = st.n;
+  const int chunks = (rounds + kPeelChunkRounds - 1) / kPeelChunkRounds;
+
+  const auto apply_diffs = [&st](int r, std::vector<int>& match) {
+    const std::uint32_t lo = st.diff_off[r];
+    const std::uint32_t hi = st.diff_off[r + 1];
+    for (std::uint32_t d = lo; d < hi; ++d) match[st.diff_row[d]] = st.diff_col[d];
+  };
+
+  // Snapshot pass: matching state at the start of each chunk.
+  std::vector<int> snapshots(static_cast<std::size_t>(chunks) * n);
+  {
+    std::vector<int> cur = st.ml;  // st.ml holds the ROUND-0 matching (see peel loop)
+    for (int r = 0; r < rounds; ++r) {
+      if (r % kPeelChunkRounds == 0) {
+        std::copy(cur.begin(), cur.end(),
+                  snapshots.begin() + static_cast<std::size_t>(r / kPeelChunkRounds) * n);
+      }
+      apply_diffs(r, cur);
+    }
+  }
+
+  const std::size_t base = schedule.assignments.size();
+  schedule.assignments.resize(base + static_cast<std::size_t>(rounds));
+  runtime::parallel_for(chunks, [&](int c) {
+    std::vector<int> match(snapshots.begin() + static_cast<std::size_t>(c) * n,
+                           snapshots.begin() + static_cast<std::size_t>(c + 1) * n);
+    const int lo = c * kPeelChunkRounds;
+    const int hi = std::min(rounds, lo + kPeelChunkRounds);
+    for (int r = lo; r < hi; ++r) {
+      CircuitAssignment& a = schedule.assignments[base + static_cast<std::size_t>(r)];
+      a.duration = st.durations[r];
+      a.circuits.clear();
+      a.circuits.reserve(n);
+      for (int i = 0; i < n; ++i) a.circuits.push_back({i, match[i]});
+      apply_diffs(r, match);
+    }
+  });
+
+  if (obs::enabled()) {
+    ParallelPeelMetrics& pm = ParallelPeelMetrics::get();
+    pm.chunks.inc(static_cast<double>(chunks));
+    for (int c = 0; c < chunks; ++c) {
+      pm.batch_width.observe(static_cast<double>(
+          std::min(rounds, (c + 1) * kPeelChunkRounds) - c * kPeelChunkRounds));
+    }
+  }
+}
+
+}  // namespace
+
+CircuitSchedule peel_parallel(SupportIndex m) {
+  CircuitSchedule schedule;
+  obs::ScopedSpan span("bvn.peel_parallel", "bvn");
+  const int n = m.n();
+  if (n == 0 || m.nnz() == 0) return schedule;
+
+  PeelState st;
+  st.n = n;
+  st.ml.assign(n, -1);
+  st.mr.assign(n, -1);
+  st.key.assign(n, 0.0);
+  st.ver.assign(n, 0);
+  st.touch_stamp.assign(n, 0);
+  st.visited.assign(n, 0);
+  st.queue.assign(n, 0);
+  st.col_parent.assign(n, 0);
+
+  // Initial perfect matching on the support (canonical threshold-matching
+  // path).  No perfect matching up front means no Birkhoff structure to
+  // peel — cover the whole thing, exactly like the sequential peel.
+  {
+    const MatchingResult init = threshold_matching(m, 2 * kTimeEps);
+    if (!init.is_perfect()) {
+      if (obs::enabled()) ParallelPeelMetrics::get().aborts.inc();
+      return cover_decompose(std::move(m));
+    }
+    for (int i = 0; i < n; ++i) {
+      st.ml[i] = init.match_left[i];
+      st.mr[init.match_left[i]] = i;
+      st.push_key(i, m.at(i, st.ml[i]));  // C == 0 at join
+    }
+  }
+  // Keep the round-0 matching for the snapshot pass: Phase 1 mutates
+  // st.ml in place, so materialize from a copy taken now.
+  std::vector<int> initial_match = st.ml;
+
+  bool aborted = false;
+  while (m.nnz() > 0) {
+    // Pop the minimum valid key: round coefficient = key_min - C.
+    KeyEntry top{};
+    for (;;) {
+      top = st.heap.top();
+      st.heap.pop();
+      if (top.ver == st.ver[top.row] && st.ml[top.row] != -1) break;
+    }
+    const double new_c = top.key;
+    const double coefficient = new_c - st.C;
+    ++st.round_stamp;
+    st.touched.clear();
+    st.freed.clear();
+    st.freed.push_back(top.row);
+    // Every matched key within tolerance of the new prefix hits zero this
+    // round (key - new_c < kTimeEps == the clamp_zero test).
+    while (!st.heap.empty()) {
+      const KeyEntry next = st.heap.top();
+      if (next.ver != st.ver[next.row] || st.ml[next.row] == -1) {
+        st.heap.pop();
+        continue;
+      }
+      if (next.key >= new_c + kTimeEps) break;
+      st.heap.pop();
+      st.freed.push_back(next.row);
+    }
+    st.durations.push_back(coefficient);
+    st.diff_off.push_back(static_cast<std::uint32_t>(st.diff_row.size()));
+    st.C = new_c;
+
+    // Zero the freed edges (support removal; their residual is exactly 0).
+    std::sort(st.freed.begin(), st.freed.end());
+    for (const int i : st.freed) {
+      const int j = st.ml[i];
+      m.set(i, j, 0.0);
+      st.ml[i] = -1;
+      st.mr[j] = -1;
+      ++st.ver[i];  // invalidate any remaining heap entries
+      st.touch(i);
+    }
+    if (obs::enabled()) {
+      ParallelPeelMetrics::get().freed_per_round.observe(
+          static_cast<double>(st.freed.size()));
+    }
+
+    // Drained: this round zeroed the last of the support; no next round
+    // to repair for (its diff range stays empty — nothing replays it).
+    if (m.nnz() == 0) break;
+
+    // Repair: re-match every freed row (ascending — deterministic).
+    for (const int i : st.freed) {
+      if (!repair_row(m, st, i)) {
+        aborted = true;
+        break;
+      }
+    }
+    if (aborted) break;
+
+    // Commit this round's diff: final (row, col) per touched row.  The
+    // range runs from the diff_off pushed at round start to the one the
+    // next round pushes (or the final sentinel).
+    for (const int r : st.touched) {
+      st.diff_row.push_back(r);
+      st.diff_col.push_back(st.ml[r]);
+    }
+  }
+  st.diff_off.push_back(static_cast<std::uint32_t>(st.diff_row.size()));
+
+  const bool obs_on = obs::enabled();
+  if (obs_on) {
+    ParallelPeelMetrics& pm = ParallelPeelMetrics::get();
+    pm.rounds.inc(static_cast<double>(st.durations.size()));
+    pm.diff_edges.inc(static_cast<double>(st.diff_row.size()));
+  }
+
+  if (aborted) {
+    // Speculation failed (float drift broke the Birkhoff guarantee for
+    // the residue).  The aborted round itself is still sound — its
+    // emitted matching was perfect at round start and its subtraction is
+    // fully accounted in C — so keep it; validate by flushing every lazy
+    // residual back into the index, then cover the remainder.
+    if (obs_on) ParallelPeelMetrics::get().aborts.inc();
+    flush_residuals(m, st);
+  }
+
+  // Phase 2 replays from the round-0 matching.
+  st.ml = std::move(initial_match);
+  materialize_schedule(st, schedule);
+
+  if (aborted || m.nnz() > 0) {
+    const CircuitSchedule tail = cover_decompose(std::move(m));
+    for (const auto& a : tail.assignments) schedule.assignments.push_back(a);
+  }
+  return schedule;
+}
+
+}  // namespace reco

@@ -1,0 +1,66 @@
+// Parallel BvN peeling for N >= 1024 ports.
+//
+// Classic first-matching peeling (bvn.cpp peel()) is a strictly
+// sequential chain: every round scans the full matching (O(N)) for the
+// minimum entry, subtracts it along all N matched cells — each subtract a
+// SupportIndex write — and repairs the matching.  Over the ~nnz rounds of
+// a stuffed matrix that is O(N * rounds) index mutations on the critical
+// path, which is what ROADMAP item 4 flags as the blocker above N = 512.
+//
+// This peel splits the chain into two phases around one observation: the
+// residual value of a matched edge never needs to be materialized while
+// the edge stays matched.  For an edge that joined the matching in round
+// s with value v, its value after round r is v - (C_r - C_{s-1}) where
+// C_r = sum of the first r coefficients.  Defining the edge's *key* as
+// v + C_{s-1} (fixed at join time):
+//
+//   * round r's coefficient is (min over matched keys) - C_{r-1}, found
+//     by one heap pop instead of an O(N) scan;
+//   * the edges that hit zero in round r are exactly the keys within
+//     kTimeEps of the new prefix sum C_r — popped from the same heap;
+//   * an edge's true value is reconstructed (key - C) only when the edge
+//     leaves the matching: zeroed edges are removed from the support, and
+//     edges bumped off along a repair path get their residual written
+//     back.  Everything else is never touched.
+//
+// Phase 1 (sequential, O(nnz log N + repair work)): run that lazy-key
+// loop, recording per round only the coefficient and the matching *diff*
+// (the rows whose matched column changed during zero+repair — a handful
+// per round, not N).  Phase 2 (parallel): materialize the CircuitSchedule
+// from the diff log.  Rounds are grouped into fixed-size chunks; a
+// sequential replay drops a matching snapshot at each chunk boundary, and
+// every chunk then materializes its rounds independently on the PR-1
+// ThreadPool.  Chunking is by round index with a constant chunk size, so
+// the emitted schedule is byte-identical at every thread count — the
+// thread count only decides which worker writes which pre-determined
+// chunk (the property sweep pins this across threads in {1, 2, 8}).
+//
+// Speculation / validate: Phase 1 *speculates* that the support always
+// admits a perfect matching (true in exact arithmetic by Birkhoff
+// structure).  When float drift breaks that for the last tolerance-scale
+// crumbs, the repair fails, the peel flushes every lazy residual back
+// into the index (validate) and falls back to cover_decompose for the
+// remainder — the same escape hatch as the sequential peel, counted in
+// bvn.peel.aborts.
+#pragma once
+
+#include "core/circuit.hpp"
+#include "core/support_index.hpp"
+
+namespace reco {
+
+/// Chunk width of the parallel materialization phase.  Fixed (not derived
+/// from the thread count) so the schedule layout is identical no matter
+/// how many workers execute it.  32 rounds x N circuits per chunk is
+/// ~256 KiB of output at N = 1024 — large enough to amortize dispatch,
+/// small enough to load-balance hundreds of chunks.
+inline constexpr int kPeelChunkRounds = 32;
+
+/// Lazy-key BvN peel with parallel materialization (see file comment).
+/// Same contract as bvn_decompose's kFirstMatching policy: `m` must hold
+/// a doubly stochastic matrix (the caller checks); the returned schedule's
+/// service matrix equals `m` up to the usual tolerance-scale residue,
+/// covered via the cover_decompose fallback.
+CircuitSchedule peel_parallel(SupportIndex m);
+
+}  // namespace reco

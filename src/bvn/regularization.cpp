@@ -34,8 +34,11 @@ SupportIndex regularize(const SupportIndex& demand, Time quantum) {
   SupportIndex out = SupportIndex::zeros(demand.n());
   Time padding = 0.0;  // published once below; Theorem 2 bounds it by delta*nnz
   for (int i = 0; i < demand.n(); ++i) {
-    for (const int j : demand.row_support(i)) {
-      const double d = demand.at(i, j);
+    const auto cols = demand.row_support(i);
+    const auto vals = demand.row_values(i);
+    for (int k = 0; k < cols.size(); ++k) {
+      const int j = cols[k];
+      const double d = vals[k];
       const double rounded = round_up_to_quantum(d, quantum);
       padding += rounded - d;
       out.set(i, j, rounded);

@@ -111,7 +111,8 @@ SupportIndex stuff(SupportIndex demand, Time target) {
         // Nonzero cells first: walk a snapshot of the row's support (the
         // adds below keep these cells nonzero, but snapshotting guards
         // against iterator invalidation by construction).
-        const std::vector<int> support = out.row_support(i);
+        const auto span = out.row_support(i);
+        const std::vector<int> support(span.begin(), span.end());
         for (const int j : support) {
           if (need <= 0.0) break;
           const Time give = std::min(need, col_need[j]);

@@ -59,10 +59,11 @@ std::vector<std::vector<int>> threshold_adjacency(const Matrix& m, double thresh
 std::vector<std::vector<int>> threshold_adjacency(const SupportIndex& idx, double threshold) {
   std::vector<std::vector<int>> adj(idx.n());
   for (int i = 0; i < idx.n(); ++i) {
-    const auto& support = idx.row_support(i);
+    const auto support = idx.row_support(i);
+    const auto vals = idx.row_values(i);
     adj[i].reserve(support.size());
-    for (const int j : support) {
-      if (idx.at(i, j) >= threshold - kTimeEps) adj[i].push_back(j);
+    for (int k = 0; k < support.size(); ++k) {
+      if (vals[k] >= threshold - kTimeEps) adj[i].push_back(support[k]);
     }
   }
   return adj;

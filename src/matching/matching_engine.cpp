@@ -21,7 +21,8 @@ std::size_t total_capacity(const MatchingScratch& s) {
          s.final_right.capacity() + s.dist.capacity() + s.queue.capacity() +
          s.stack_u.capacity() + s.stack_e.capacity() + s.values.capacity() +
          s.row_mark.capacity() + s.col_mark.capacity() + s.gate_stamp.capacity() +
-         s.col_gate.capacity() + s.gate_heap.capacity();
+         s.col_gate.capacity() + s.gate_heap.capacity() + s.adj_bits.capacity() +
+         s.visited_bits.capacity() + s.layer_bits.capacity() + s.free_col_bits.capacity();
 }
 
 /// Resize to `n`, filling fresh slots only when the logical size grows.
@@ -63,6 +64,89 @@ bool bfs_layers_csr(const MatchingScratch& s, const std::vector<int>& ml,
       } else if (dist[w] == kInf) {
         dist[w] = dist[u] + 1;
         queue[tail++] = w;
+      }
+    }
+  }
+  return found;
+}
+
+/// Bake the value-filtered adjacency into per-row bitmasks: bit j of row
+/// u's mask is set iff edge (u, j) survives the threshold cut.  One build
+/// per hk_augment_csr call (O(E + N^2/64)); every subsequent BFS phase
+/// then expands layers word-parallel without touching csr_val.
+void build_adj_bits(MatchingScratch& s, double threshold, bool check_value) {
+  const double cut = threshold - kTimeEps;
+  const int words = (s.n_right + 63) >> 6;
+  const std::size_t total = static_cast<std::size_t>(s.n_left) * words;
+  ensure_size(s.adj_bits, total, std::uint64_t{0});
+  std::fill(s.adj_bits.begin(), s.adj_bits.begin() + static_cast<std::ptrdiff_t>(total), 0);
+  ensure_size(s.visited_bits, static_cast<std::size_t>(words), std::uint64_t{0});
+  ensure_size(s.layer_bits, static_cast<std::size_t>(words), std::uint64_t{0});
+  ensure_size(s.free_col_bits, static_cast<std::size_t>(words), std::uint64_t{0});
+  for (int u = 0; u < s.n_left; ++u) {
+    std::uint64_t* row = s.adj_bits.data() + static_cast<std::size_t>(u) * words;
+    const int end = s.csr_off[u + 1];
+    for (int e = s.csr_off[u]; e < end; ++e) {
+      if (check_value && s.csr_val[e] < cut) continue;
+      const int j = s.csr_col[e];
+      row[j >> 6] |= std::uint64_t{1} << (j & 63);
+    }
+  }
+  ++s.stats.bitset_builds;
+}
+
+/// Word-parallel twin of bfs_layers_csr.  Layer-synchronous: OR the
+/// adjacency masks of the current frontier, strip already-visited
+/// columns, then enqueue the matched partner of every newly reached
+/// column.  BFS layer depths are canonical (independent of intra-layer
+/// visit order), so `dist` comes out identical to the CSR walk — which is
+/// all the DFS phase consumes — and the final matching is bit-identical.
+bool bfs_layers_bitset(MatchingScratch& s, const std::vector<int>& ml,
+                       const std::vector<int>& mr, std::vector<int>& dist,
+                       std::vector<int>& queue) {
+  const int n = s.n_left;
+  const int words = (s.n_right + 63) >> 6;
+  std::uint64_t* visited = s.visited_bits.data();
+  std::uint64_t* layer = s.layer_bits.data();
+  std::uint64_t* free_cols = s.free_col_bits.data();
+  std::fill(visited, visited + words, 0);
+  std::fill(free_cols, free_cols + words, 0);
+  for (int j = 0; j < s.n_right; ++j) {
+    if (mr[j] == -1) free_cols[j >> 6] |= std::uint64_t{1} << (j & 63);
+  }
+  int tail = 0;
+  for (int u = 0; u < n; ++u) {
+    if (ml[u] == -1) {
+      dist[u] = 0;
+      queue[tail++] = u;
+    } else {
+      dist[u] = kInf;
+    }
+  }
+  bool found = false;
+  int begin = 0;
+  int depth = 0;
+  while (begin < tail) {
+    std::fill(layer, layer + words, 0);
+    for (int k = begin; k < tail; ++k) {
+      const std::uint64_t* row =
+          s.adj_bits.data() + static_cast<std::size_t>(queue[k]) * words;
+      for (int w = 0; w < words; ++w) layer[w] |= row[w];
+    }
+    begin = tail;
+    ++depth;
+    for (int w = 0; w < words; ++w) {
+      std::uint64_t fresh = layer[w] & ~visited[w];
+      if (fresh == 0) continue;
+      visited[w] |= fresh;
+      if (fresh & free_cols[w]) found = true;
+      std::uint64_t matched = fresh & ~free_cols[w];
+      while (matched != 0) {
+        const int j = (w << 6) + __builtin_ctzll(matched);
+        matched &= matched - 1;
+        const int r = mr[j];  // never a free row: mr[j] != -1 implies ml[r] == j
+        dist[r] = depth;
+        queue[tail++] = r;
       }
     }
   }
@@ -131,6 +215,22 @@ bool dfs_augment_csr(const MatchingScratch& s, int u0, std::vector<int>& ml, std
 
 }  // namespace
 
+namespace {
+
+/// Pick the BFS expansion strategy for this call.  The CSR is already
+/// built, so the edge count is exact; with check_value the count includes
+/// sub-threshold edges, which only ever overestimates density — an
+/// overestimate can cost a suboptimal mode pick, never a wrong result.
+bool use_bitset_bfs(const MatchingScratch& s) {
+  if (s.hk_mode == HkMode::kCsr) return false;
+  if (s.hk_mode == HkMode::kBitset) return true;
+  if (s.n_left < kBitsetMinPorts) return false;
+  const double cells = static_cast<double>(s.n_left) * static_cast<double>(s.n_right);
+  return static_cast<double>(s.csr_col.size()) >= kBitsetMinDensity * cells;
+}
+
+}  // namespace
+
 int hk_augment_csr(MatchingScratch& s, std::vector<int>& ml, std::vector<int>& mr,
                    double threshold, bool check_value) {
   const std::size_t nl = static_cast<std::size_t>(s.n_left);
@@ -142,9 +242,13 @@ int hk_augment_csr(MatchingScratch& s, std::vector<int>& ml, std::vector<int>& m
   for (int u = 0; u < s.n_left; ++u) {
     if (ml[u] != -1) ++size;
   }
+  const bool bitset_bfs = size < s.n_left && use_bitset_bfs(s);
+  if (bitset_bfs) build_adj_bits(s, threshold, check_value);
   while (size < s.n_left &&
-         bfs_layers_csr(s, ml, mr, s.dist, s.queue, threshold, check_value)) {
+         (bitset_bfs ? bfs_layers_bitset(s, ml, mr, s.dist, s.queue)
+                     : bfs_layers_csr(s, ml, mr, s.dist, s.queue, threshold, check_value))) {
     ++s.stats.phases;
+    if (bitset_bfs) ++s.stats.bitset_phases;
     for (int u = 0; u < s.n_left; ++u) {
       if (ml[u] == -1 &&
           dfs_augment_csr(s, u, ml, mr, s.dist, s.stack_u, s.stack_e, threshold, check_value)) {
@@ -188,10 +292,13 @@ void build_csr(const SupportIndex& idx, double keep_threshold, bool with_values,
   s.csr_val.clear();
   s.csr_off[0] = 0;
   for (int i = 0; i < n; ++i) {
-    for (const int j : idx.row_support(i)) {
-      const double x = idx.at(i, j);
+    // Stream the SoA arenas side by side — no dense-row gather.
+    const auto cols = idx.row_support(i);
+    const auto vals = idx.row_values(i);
+    for (int k = 0; k < cols.size(); ++k) {
+      const double x = vals[k];
       if (x >= cut) {
-        s.csr_col.push_back(j);
+        s.csr_col.push_back(cols[k]);
         if (with_values) s.csr_val.push_back(x);
       }
     }
@@ -214,7 +321,8 @@ void collect_values(const Matrix& m, std::vector<double>& values) {
 void collect_values(const SupportIndex& idx, std::vector<double>& values) {
   values.clear();
   for (int i = 0; i < idx.n(); ++i) {
-    for (const int j : idx.row_support(i)) values.push_back(idx.at(i, j));
+    const auto vals = idx.row_values(i);
+    values.insert(values.end(), vals.begin(), vals.end());
   }
 }
 
@@ -467,7 +575,11 @@ bool bottleneck_solve_impl(const Src& src, MatchingScratch& s) {
     static obs::Counter& warm_edges = obs::metrics().counter("matching.engine.warm_edges_kept");
     static obs::Counter& reuses = obs::metrics().counter("matching.engine.scratch_reuses");
     static obs::Counter& allocs = obs::metrics().counter("matching.engine.scratch_allocs");
+    static obs::Counter& bit_phases = obs::metrics().counter("matching.engine.bitset_phases");
+    static obs::Counter& bit_builds = obs::metrics().counter("matching.engine.bitset_builds");
     const MatchingScratch::Stats& a = s.stats;
+    bit_phases.inc(static_cast<double>(a.bitset_phases - before.bitset_phases));
+    bit_builds.inc(static_cast<double>(a.bitset_builds - before.bitset_builds));
     solves.inc(static_cast<double>(a.solves - before.solves));
     probes.inc(static_cast<double>(a.probes - before.probes));
     pruned.inc(static_cast<double>(a.probes_pruned - before.probes_pruned));

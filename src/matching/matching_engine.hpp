@@ -64,6 +64,27 @@
 
 namespace reco {
 
+/// BFS layer-expansion strategy for Hopcroft-Karp phases.
+///
+/// kCsr walks the flat-CSR edge list (O(E) per phase) — unbeatable when
+/// the support is sparse.  kBitset expands each frontier by OR-ing
+/// per-row adjacency bitmasks (word-parallel: 64 columns per operation,
+/// O(frontier * N/64) per layer), which wins once the matrix is dense
+/// enough that per-edge pointer chasing dominates.  kAuto picks per call
+/// from the dimension and the built CSR's edge density; both paths
+/// produce bit-identical matchings (BFS layer depths are canonical — they
+/// do not depend on intra-layer visit order — and the DFS phase always
+/// walks the CSR ascending), pinned by the scale property sweep.
+enum class HkMode { kAuto, kCsr, kBitset };
+
+/// kAuto thresholds: bitset expansion needs enough columns for the
+/// word-parallelism to pay for building the masks (N/64 words per row)
+/// and enough density that the CSR walk is the slower of the two.  Kept
+/// at >= 192 ports so every N <= 128 microbenchmark row stays on the
+/// proven CSR path.
+inline constexpr int kBitsetMinPorts = 192;
+inline constexpr double kBitsetMinDensity = 1.0 / 16.0;
+
 /// Caller-owned scratch arena for the matching engine.  All buffers grow
 /// to high-water capacity and are then reused; `stats.alloc_events`
 /// counts capacity growths and `stats.scratch_reuses` counts solves that
@@ -93,6 +114,13 @@ struct MatchingScratch {
   std::vector<int> stack_u;      ///< iterative-DFS frame: vertex
   std::vector<int> stack_e;      ///< iterative-DFS frame: edge cursor
 
+  // ---- bitset BFS layer expansion ------------------------------------
+  HkMode hk_mode = HkMode::kAuto;       ///< force kCsr/kBitset (tests, benches)
+  std::vector<std::uint64_t> adj_bits;  ///< n_left rows x ceil(n_right/64) words
+  std::vector<std::uint64_t> visited_bits;   ///< columns reached this BFS
+  std::vector<std::uint64_t> layer_bits;     ///< OR of frontier rows' adjacency
+  std::vector<std::uint64_t> free_col_bits;  ///< columns with match_right == -1
+
   // ---- bottleneck candidate pool + Hall-certificate prune ------------
   std::vector<double> values;    ///< unsorted candidate pool, partitioned in place
   std::vector<int> row_mark;     ///< stamp marks: rows reachable from free rows
@@ -116,6 +144,8 @@ struct MatchingScratch {
     std::uint64_t probes_pruned = 0;    ///< ladder values skipped by Hall prune
     std::uint64_t hall_prunes = 0;      ///< failed probes whose certificate cut the ladder
     std::uint64_t phases = 0;           ///< Hopcroft-Karp BFS phases
+    std::uint64_t bitset_phases = 0;    ///< phases whose BFS ran word-parallel
+    std::uint64_t bitset_builds = 0;    ///< adjacency-bitmask builds (per hk call)
     std::uint64_t augmentations = 0;    ///< successful augmenting paths
     std::uint64_t warm_start_hits = 0;  ///< solves seeded with >0 surviving warm edges
     std::uint64_t warm_edges_kept = 0;  ///< warm edges surviving the first probe filter

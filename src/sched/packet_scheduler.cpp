@@ -92,7 +92,9 @@ void packet_schedule_into(const std::vector<const SupportIndex*>& residuals,
     // Support lists are sorted ascending, so this visits the same flows in
     // the same order as the dense (i, j) scan of the coflow overload.
     for (int i = 0; i < n; ++i) {
-      for (const int j : r.row_support(i)) scratch.flows.push_back({i, j, r.at(i, j)});
+      const auto cols = r.row_support(i);
+      const auto vals = r.row_values(i);
+      for (int k = 0; k < cols.size(); ++k) scratch.flows.push_back({i, cols[k], vals[k]});
     }
     place_coflow_flows(scratch, ids[idx], out);
   }

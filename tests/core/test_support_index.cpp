@@ -11,6 +11,8 @@
 namespace reco {
 namespace {
 
+std::vector<int> to_vector(const SupportSpan& s) { return {s.begin(), s.end()}; }
+
 /// Check every index invariant against the dense matrix it wraps.
 void expect_index_consistent(const SupportIndex& idx, double sum_tol = 1e-9) {
   const Matrix& m = idx.matrix();
@@ -22,17 +24,23 @@ void expect_index_consistent(const SupportIndex& idx, double sum_tol = 1e-9) {
       if (m.at(i, j) != 0.0) expected.push_back(j);
     }
     nnz += static_cast<int>(expected.size());
-    EXPECT_EQ(idx.row_support(i), expected) << "row " << i;
+    EXPECT_EQ(to_vector(idx.row_support(i)), expected) << "row " << i;
     EXPECT_EQ(idx.row_nnz(i), static_cast<int>(expected.size()));
     EXPECT_NEAR(idx.row_sum(i), m.row_sum(i), sum_tol) << "row " << i;
     EXPECT_DOUBLE_EQ(idx.row_sum_exact(i), m.row_sum(i)) << "row " << i;
+    // SoA value mirror: row_values must track the dense entries exactly.
+    const auto vals = idx.row_values(i);
+    ASSERT_EQ(vals.size(), idx.row_support(i).size());
+    for (int k = 0; k < vals.size(); ++k) {
+      EXPECT_EQ(vals[k], m.at(i, idx.row_support(i)[k])) << "row " << i << " slot " << k;
+    }
   }
   for (int j = 0; j < n; ++j) {
     std::vector<int> expected;
     for (int i = 0; i < n; ++i) {
       if (m.at(i, j) != 0.0) expected.push_back(i);
     }
-    EXPECT_EQ(idx.col_support(j), expected) << "col " << j;
+    EXPECT_EQ(to_vector(idx.col_support(j)), expected) << "col " << j;
     EXPECT_EQ(idx.col_nnz(j), static_cast<int>(expected.size()));
     EXPECT_NEAR(idx.col_sum(j), m.col_sum(j), sum_tol) << "col " << j;
     EXPECT_DOUBLE_EQ(idx.col_sum_exact(j), m.col_sum(j)) << "col " << j;
@@ -47,9 +55,9 @@ void expect_index_consistent(const SupportIndex& idx, double sum_tol = 1e-9) {
 TEST(SupportIndex, BuildsFromMatrix) {
   const SupportIndex idx(Matrix::from_rows({{2, 0, 1}, {0, 0, 3}, {4, 5, 0}}));
   EXPECT_EQ(idx.nnz(), 5);
-  EXPECT_EQ(idx.row_support(0), (std::vector<int>{0, 2}));
-  EXPECT_EQ(idx.row_support(1), (std::vector<int>{2}));
-  EXPECT_EQ(idx.col_support(2), (std::vector<int>{0, 1}));
+  EXPECT_EQ(to_vector(idx.row_support(0)), (std::vector<int>{0, 2}));
+  EXPECT_EQ(to_vector(idx.row_support(1)), (std::vector<int>{2}));
+  EXPECT_EQ(to_vector(idx.col_support(2)), (std::vector<int>{0, 1}));
   EXPECT_DOUBLE_EQ(idx.row_sum(0), 3.0);
   EXPECT_DOUBLE_EQ(idx.col_sum(0), 6.0);
   EXPECT_DOUBLE_EQ(idx.rho(), 9.0);  // row 2 sums to 9
@@ -151,7 +159,7 @@ TEST(SupportIndexProperty, PeelStyleDrainStaysConsistent) {
   while (idx.nnz() > 0) {
     for (int i = 0; i < idx.n(); ++i) {
       if (idx.row_nnz(i) == 0) continue;
-      const std::vector<int> support = idx.row_support(i);  // snapshot: sets erase
+      const std::vector<int> support = to_vector(idx.row_support(i));  // snapshot: sets erase
       double coefficient = idx.at(i, support.front());
       for (const int j : support) coefficient = std::min(coefficient, idx.at(i, j));
       for (const int j : support) idx.set(i, j, clamp_zero(idx.at(i, j) - coefficient));

@@ -48,6 +48,11 @@ const char* policy_name(BvnPolicy p) {
     case BvnPolicy::kFirstMatching: return "first";
     case BvnPolicy::kMaxMinAmortized: return "maxmin";
     case BvnPolicy::kExactBottleneck: return "bottleneck";
+    // Not in kAllPolicies: the lazy-key peel orders its subtractions
+    // differently from the dense eager peel, so bit-equivalence against
+    // dense_reference does not hold (test_scale_equivalence pins its
+    // determinism and reconstruction instead).
+    case BvnPolicy::kParallelPeel: return "parallel";
   }
   return "?";
 }
