@@ -18,6 +18,8 @@
 
 #include "bench_util.hpp"
 #include "core/coflow.hpp"
+#include "obs/obs.hpp"
+#include "obs/timeseries.hpp"
 #include "sched/online_core.hpp"
 #include "sim/online_daemon.hpp"
 #include "trace/generator.hpp"
@@ -121,18 +123,73 @@ void BM_OnlineDaemonThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_OnlineDaemonThroughput)->Arg(100)->Arg(400);
 
+// ---- live-telemetry sampling overhead ------------------------------------
+//
+// The throughput benchmark above re-run with obs enabled and the sim-time
+// sampler ticking every 10 ms of sim time (plus the trace ring bounded, as
+// a real scrape target would run).  write_json() turns the pair into a
+// "sampler_overhead_pct" baseline entry — the online counterpart of the
+// micro-kernel suite's telemetry_overhead_pct.  This is a deliberately
+// aggressive rate (~100 samples over the ~1 s stream, far denser than any
+// scraper needs), so the entry is an upper bound for tracking, not a gate:
+// the off path stays one relaxed load + branch regardless.
+
+void BM_OnlineDaemonSampled(benchmark::State& state) {
+  const int coflows = static_cast<int>(state.range(0));
+  GeneratorOptions gen;
+  gen.num_ports = 16;
+  gen.num_coflows = coflows;
+  gen.seed = 993;
+  gen.mean_interarrival = 0.01;
+  sim::OnlineDaemonOptions opt;
+  opt.core = soak_options();
+  opt.sample_every = 0.01;
+  const bool was_enabled = obs::enabled();
+  const std::size_t old_capacity = obs::tracer().capacity();
+  obs::set_enabled(true);
+  obs::tracer().set_capacity(4096);  // bound the span buffer inside the loop
+  std::uint64_t finished = 0;
+  for (auto _ : state) {
+    ArrivalStream stream(gen);
+    sim::PullSource<ArrivalStream> source(stream);
+    sim::OnlineDaemon daemon(OnlinePolicyKind::kDrainReplanRecoMul, opt);
+    daemon.reserve(static_cast<std::size_t>(coflows));
+    finished = daemon.run(source).stats.finished;
+    benchmark::DoNotOptimize(finished);
+  }
+  obs::set_enabled(was_enabled);
+  obs::tracer().set_capacity(old_capacity);
+  obs::sim_sampler().clear();
+  if (!was_enabled) obs::reset();  // keep user-requested telemetry, drop ours
+  state.SetItemsProcessed(state.iterations() * coflows);
+  state.counters["N"] = 16.0;
+  state.counters["finished"] = static_cast<double>(finished);
+}
+BENCHMARK(BM_OnlineDaemonSampled)->Arg(100);
+
 // ---- baseline derived metrics --------------------------------------------
 
-/// Headline: the decision-latency p99 on the largest replan shape.
+/// Headline metrics: the decision-latency p99 on the largest replan shape,
+/// and the sampled-vs-plain daemon throughput delta.
 std::vector<std::pair<std::string, double>> derived_metrics(
     const std::vector<bench::gbench::Row>& rows) {
+  std::vector<std::pair<std::string, double>> out;
+  double plain = 0.0;
+  double sampled = 0.0;
   for (const auto& r : rows) {
     if (r.name == "BM_OnlineDecisionLatency/32/16") {
       const double p99 = r.counter("p99_us");
-      if (p99 > 0.0) return {{"online_decision_p99_us", p99}};
+      if (p99 > 0.0) out.emplace_back("online_decision_p99_us", p99);
+    } else if (r.name == "BM_OnlineDaemonThroughput/100") {
+      plain = r.ns_per_op;
+    } else if (r.name == "BM_OnlineDaemonSampled/100") {
+      sampled = r.ns_per_op;
     }
   }
-  return {};
+  if (plain > 0.0 && sampled > 0.0) {
+    out.emplace_back("sampler_overhead_pct", 100.0 * (sampled - plain) / plain);
+  }
+  return out;
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 //              [--delta=SEC] [--c=C] [--threads=N]
 //              [--trace=FILE] [--fb] [--no-schedule] [--csv=FILE]
 //              [--trace-out=FILE] [--metrics-out=FILE]
+//              [--sample-every=SEC] [--metrics-port=N] [--hold=SEC]
+//              [--prom-out=FILE] [--snapshot-out=FILE] [--flight-out=FILE]
 //
 // With --trace the arrival stream is the trace file's coflows (their
 // arrival fields are honoured); otherwise the generator streams coflows
@@ -19,15 +21,33 @@
 // --no-schedule drops the emitted slice list (the digest still witnesses
 // every slice), which keeps memory flat for soak runs; --csv implies
 // keeping it.  Output is bit-identical at every --threads value.
+//
+// Live telemetry (all off by default; any flag enables obs): --sample-every
+// snapshots the registry on both timelines (a simulated-time sampler rides
+// the daemon's event queue; a wall-clock thread ticks alongside),
+// --metrics-port serves GET /metrics (Prometheus text) and GET /snapshot
+// (JSON rings) on 127.0.0.1 (0 = ephemeral, port is printed), --hold keeps
+// the process alive that many seconds after the run so scrapers can land,
+// --prom-out / --snapshot-out write the same pages to files, and
+// --flight-out arms the fault flight recorder, whose ring of recent events
+// is dumped as JSONL on recovery replans, peel aborts, or abnormal exit.
+// Telemetry is write-only: schedules and digests are byte-identical with
+// every flag on or off.
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/timeseries.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/online_daemon.hpp"
 #include "stats/csv.hpp"
@@ -74,7 +94,9 @@ int usage() {
                "                  [--policy=epoch|replan|fifo] [--ordering=bssi|sebf|lp]\n"
                "                  [--delta=SEC] [--c=C] [--threads=N]\n"
                "                  [--trace=FILE] [--fb] [--no-schedule] [--csv=FILE]\n"
-               "                  [--trace-out=FILE] [--metrics-out=FILE]\n");
+               "                  [--trace-out=FILE] [--metrics-out=FILE]\n"
+               "                  [--sample-every=SEC] [--metrics-port=N] [--hold=SEC]\n"
+               "                  [--prom-out=FILE] [--snapshot-out=FILE] [--flight-out=FILE]\n");
   return 2;
 }
 
@@ -89,7 +111,17 @@ int main(int argc, char** argv) {
   obs::init_from_env();
   const std::string trace_out = args.get("trace-out", "");
   const std::string metrics_out = args.get("metrics-out", "");
-  if (!trace_out.empty() || !metrics_out.empty()) obs::set_enabled(true);
+  const std::string prom_out = args.get("prom-out", "");
+  const std::string snapshot_out = args.get("snapshot-out", "");
+  const std::string flight_out = args.get("flight-out", "");
+  const double sample_every = args.get_double("sample-every", 0.0);
+  const bool serve_metrics = args.has("metrics-port");
+  const double hold_s = args.get_double("hold", 0.0);
+  if (!trace_out.empty() || !metrics_out.empty() || !prom_out.empty() ||
+      !snapshot_out.empty() || !flight_out.empty() || sample_every > 0.0 || serve_metrics) {
+    obs::set_enabled(true);
+  }
+  if (!flight_out.empty()) obs::flight_recorder().arm(flight_out);
 
   const std::string policy_name = args.get("policy", "replan");
   OnlinePolicyKind policy = OnlinePolicyKind::kDrainReplanRecoMul;
@@ -120,8 +152,20 @@ int main(int argc, char** argv) {
   options.core.ordering = ordering;
   options.core.record_schedule = !args.has("no-schedule") || !csv_path.empty();
   options.core.record_cct = true;
+  options.sample_every = sample_every;
 
   try {
+    // Live telemetry rigging, before any scheduling: the wall sampler
+    // thread ticks the wall-timeline ring, the HTTP endpoint serves both
+    // rings plus the registry.  Neither touches scheduling state.
+    std::optional<obs::WallSampler> wall;
+    if (sample_every > 0.0) wall.emplace(obs::wall_sampler(), sample_every);
+    obs::MetricsHttpServer server;
+    if (serve_metrics) {
+      server.start(static_cast<int>(args.get_double("metrics-port", 0)));
+      std::printf("serving /metrics and /snapshot on http://127.0.0.1:%d\n", server.port());
+      std::fflush(stdout);
+    }
     GeneratorOptions gen;
     gen.num_ports = static_cast<int>(args.get_double("ports", 32));
     gen.num_coflows = static_cast<int>(args.get_double("coflows", 1000));
@@ -166,6 +210,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.stats.slot_reuses),
                 static_cast<unsigned long long>(report.stats.alloc_events));
     std::printf("  replay digest: %016llx\n", static_cast<unsigned long long>(report.digest));
+    if (obs::enabled()) {
+      obs::sync_trace_dropped();
+      std::printf("  trace events dropped: %llu\n",
+                  static_cast<unsigned long long>(obs::tracer().dropped()));
+    }
 
     if (!csv_path.empty()) {
       std::ofstream out(csv_path);
@@ -184,10 +233,28 @@ int main(int argc, char** argv) {
       obs::save_metrics_csv(metrics_out);
       std::printf("wrote metrics to %s\n", metrics_out.c_str());
     }
+    if (hold_s > 0.0) {
+      std::printf("holding %g s for scrapers\n", hold_s);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::duration<double>(hold_s));
+    }
+    wall.reset();  // join the wall thread and close its final window
+    if (!prom_out.empty()) {
+      obs::save_prometheus(prom_out);
+      std::printf("wrote Prometheus exposition to %s\n", prom_out.c_str());
+    }
+    if (!snapshot_out.empty()) {
+      obs::save_snapshot_json(snapshot_out);
+      std::printf("wrote time-series snapshot to %s\n", snapshot_out.c_str());
+    }
     const bool complete = report.stats.finished == report.stats.submitted;
     return complete ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    if (obs::enabled()) {
+      obs::flight_recorder().record("abnormal_exit", 0.0, -1, 0.0, e.what());
+      obs::flight_recorder().trigger("reco_serve abnormal exit");
+    }
     return 1;
   }
 }

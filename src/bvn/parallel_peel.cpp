@@ -9,6 +9,7 @@
 #include "bvn/bvn.hpp"
 #include "core/types.hpp"
 #include "matching/hopcroft_karp.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 
@@ -232,7 +233,13 @@ CircuitSchedule peel_parallel(SupportIndex m) {
   {
     const MatchingResult init = threshold_matching(m, 2 * kTimeEps);
     if (!init.is_perfect()) {
-      if (obs::enabled()) ParallelPeelMetrics::get().aborts.inc();
+      if (obs::enabled()) {
+        ParallelPeelMetrics::get().aborts.inc();
+        obs::flight_recorder().record("peel_abort", 0.0, n,
+                                      static_cast<double>(m.nnz()),
+                                      "no initial perfect matching");
+        obs::flight_recorder().trigger("bvn.peel abort: no initial perfect matching");
+      }
       return cover_decompose(std::move(m));
     }
     for (int i = 0; i < n; ++i) {
@@ -327,7 +334,12 @@ CircuitSchedule peel_parallel(SupportIndex m) {
     // emitted matching was perfect at round start and its subtraction is
     // fully accounted in C — so keep it; validate by flushing every lazy
     // residual back into the index, then cover the remainder.
-    if (obs_on) ParallelPeelMetrics::get().aborts.inc();
+    if (obs_on) {
+      ParallelPeelMetrics::get().aborts.inc();
+      obs::flight_recorder().record("peel_abort", 0.0, n, static_cast<double>(m.nnz()),
+                                    "repair failed mid-peel");
+      obs::flight_recorder().trigger("bvn.peel abort: repair failed mid-peel");
+    }
     flush_residuals(m, st);
   }
 

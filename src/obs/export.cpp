@@ -1,0 +1,236 @@
+#include "obs/export.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+#include "stats/csv.hpp"
+
+namespace reco::obs {
+
+namespace {
+
+/// Prometheus sample values: plain floats, with the spec's spellings for
+/// the non-finite cases ("+Inf"/"-Inf"/"NaN").
+void write_prom_value(std::ostream& out, double v) {
+  if (std::isnan(v)) {
+    out << "NaN";
+  } else if (std::isinf(v)) {
+    out << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    const auto flags = out.flags();
+    out.precision(12);
+    out << v;
+    out.flags(flags);
+  }
+}
+
+void write_prom_sample(std::ostream& out, const std::string& name, const char* labels,
+                       double value) {
+  out << name << labels << ' ';
+  write_prom_value(out, value);
+  out << '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "reco_";
+  out.reserve(name.size() + 5);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void write_prometheus_text(std::ostream& out, const MetricsRegistry& registry) {
+  const RegistrySnapshot snap = registry.structured_snapshot();
+  for (const MetricSample& c : snap.counters) {
+    const std::string name = prometheus_name(c.name);
+    out << "# TYPE " << name << " counter\n";
+    write_prom_sample(out, name, "", c.value);
+  }
+  for (const MetricSample& g : snap.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out << "# TYPE " << name << " gauge\n";
+    write_prom_sample(out, name, "", g.value);
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const std::string name = prometheus_name(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t k = 0; k < h.bounds.size(); ++k) {
+      cum += h.counts[k];
+      out << name << "_bucket{le=\"";
+      write_prom_value(out, h.bounds[k]);
+      out << "\"} " << cum << '\n';
+    }
+    cum += h.counts[h.bounds.size()];
+    out << name << "_bucket{le=\"+Inf\"} " << cum << '\n';
+    write_prom_sample(out, name + "_sum", "", h.sum);
+    out << name << "_count " << h.count << '\n';
+  }
+}
+
+void write_prometheus_window(std::ostream& out, const TimeSeriesSampler& sampler) {
+  const SamplePoint latest = sampler.latest();
+  if (latest.stats.empty() || latest.window <= 0.0) return;
+  const std::string label = "{timeline=\"" + sampler.timeline() + "\"}";
+  const auto gauge = [&](const std::string& name, double value) {
+    out << "# TYPE " << name << " gauge\n";
+    write_prom_sample(out, name, label.c_str(), value);
+  };
+  gauge("reco_window_seconds", latest.window);
+  gauge("reco_window_end", latest.t);
+  for (const WindowStat& w : latest.stats) {
+    const std::string base = "reco_window_" + prometheus_name(w.name).substr(5);
+    if (w.kind == "counter") {
+      gauge(base + "_per_s", w.rate);
+    } else if (w.kind == "histogram") {
+      gauge(base + "_per_s", w.rate);
+      if (w.window_count > 0) {
+        gauge(base + "_p50", w.p50);
+        gauge(base + "_p90", w.p90);
+        gauge(base + "_p99", w.p99);
+      }
+    }
+  }
+}
+
+void write_prometheus_page(std::ostream& out) {
+  sync_trace_dropped();
+  write_prometheus_text(out, metrics());
+  write_prometheus_window(out, wall_sampler());
+  write_prometheus_window(out, sim_sampler());
+}
+
+void write_snapshot_json(std::ostream& out) {
+  out << "{\"snapshots\": [";
+  wall_sampler().write_json(out);
+  out << ", ";
+  sim_sampler().write_json(out);
+  out << "]}";
+}
+
+void save_prometheus(const std::string& path) {
+  ensure_parent_directory(path);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_prometheus: cannot open " + path);
+  write_prometheus_page(out);
+  if (!out) throw std::runtime_error("save_prometheus: write failed for " + path);
+}
+
+void save_snapshot_json(const std::string& path) {
+  ensure_parent_directory(path);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_snapshot_json: cannot open " + path);
+  write_snapshot_json(out);
+  if (!out) throw std::runtime_error("save_snapshot_json: write failed for " + path);
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::start(int port) {
+  if (running_.load(std::memory_order_relaxed)) {
+    throw std::logic_error("MetricsHttpServer: already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("MetricsHttpServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("MetricsHttpServer: cannot bind 127.0.0.1:" +
+                             std::to_string(port) + " (" + std::strerror(err) + ")");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void MetricsHttpServer::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);  // 200 ms stop-flag granularity
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    char buf[2048];
+    const ssize_t got = ::recv(client, buf, sizeof(buf) - 1, 0);
+    std::string target;
+    if (got > 0) {
+      buf[got] = '\0';
+      // Request line: METHOD SP target SP version.  Only GET is routed.
+      const char* sp1 = std::strchr(buf, ' ');
+      const char* sp2 = sp1 != nullptr ? std::strchr(sp1 + 1, ' ') : nullptr;
+      if (sp1 != nullptr && sp2 != nullptr && std::strncmp(buf, "GET ", 4) == 0) {
+        target.assign(sp1 + 1, sp2);
+      }
+    }
+
+    std::ostringstream body;
+    const char* status = "200 OK";
+    const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
+    if (target == "/metrics") {
+      write_prometheus_page(body);
+    } else if (target == "/snapshot") {
+      write_snapshot_json(body);
+      content_type = "application/json";
+    } else {
+      status = "404 Not Found";
+      content_type = "text/plain; charset=utf-8";
+      body << "404: routes are GET /metrics and GET /snapshot\n";
+    }
+
+    const std::string payload = body.str();
+    std::ostringstream head;
+    head << "HTTP/1.0 " << status << "\r\nContent-Type: " << content_type
+         << "\r\nContent-Length: " << payload.size() << "\r\nConnection: close\r\n\r\n";
+    const std::string response = head.str() + payload;
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n = ::send(client, response.data() + sent, response.size() - sent, 0);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(client);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace reco::obs

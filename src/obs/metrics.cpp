@@ -58,6 +58,15 @@ double Histogram::min() const {
   return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
 }
 
+double Histogram::quantile(double q) const {
+  if (count() == 0) return 0.0;
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t k = 0; k <= bounds_.size(); ++k) {
+    counts[k] = buckets_[k].load(std::memory_order_relaxed);
+  }
+  return quantile_from_buckets(bounds_, counts.data(), q, min(), max());
+}
+
 double Histogram::max() const {
   return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
@@ -77,6 +86,31 @@ std::vector<double> pow2_buckets(double hi) {
   for (double b = 1.0; b < hi; b *= 2.0) bounds.push_back(b);
   bounds.push_back(hi);
   return bounds;
+}
+
+double quantile_from_buckets(const std::vector<double>& bounds, const std::uint64_t* counts,
+                             double q, double observed_min, double observed_max) {
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k <= bounds.size(); ++k) total += counts[k];
+  if (total == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(total);
+  const bool clamp = observed_min <= observed_max;
+  std::uint64_t cum = 0;
+  for (std::size_t k = 0; k < bounds.size(); ++k) {
+    const std::uint64_t c = counts[k];
+    if (static_cast<double>(cum + c) >= target && c > 0) {
+      const double lo = k == 0 ? std::min(0.0, bounds[0]) : bounds[k - 1];
+      const double hi = bounds[k];
+      double v = lo + (hi - lo) * (target - static_cast<double>(cum)) / static_cast<double>(c);
+      if (clamp) v = std::min(std::max(v, observed_min), observed_max);
+      return v;
+    }
+    cum += c;
+  }
+  // Target rank lives in the overflow bucket: the observed max is the best
+  // (and only bounded) estimate; fall back to the last bound without one.
+  return clamp ? observed_max : bounds.back();
 }
 
 MetricsRegistry::Slot& MetricsRegistry::find_or_create(const std::string& name, Kind kind) {
@@ -145,6 +179,36 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
                          static_cast<double>(h.bucket_count(k))});
         }
         out.push_back({name, "histogram", "overflow", static_cast<double>(h.overflow())});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+RegistrySnapshot MetricsRegistry::structured_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot out;
+  for (const auto& [name, slot] : slots_) {
+    switch (slot.kind) {
+      case Kind::kCounter:
+        out.counters.push_back({name, "counter", "value", slot.counter->value()});
+        break;
+      case Kind::kGauge:
+        out.gauges.push_back({name, "gauge", "value", slot.gauge->value()});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *slot.histogram;
+        HistogramSnapshot snap;
+        snap.name = name;
+        snap.bounds = h.bounds();
+        snap.counts.resize(snap.bounds.size() + 1);
+        for (std::size_t k = 0; k <= snap.bounds.size(); ++k) snap.counts[k] = h.bucket_count(k);
+        snap.count = h.count();
+        snap.sum = h.sum();
+        snap.min = h.min();
+        snap.max = h.max();
+        out.histograms.push_back(std::move(snap));
         break;
       }
     }

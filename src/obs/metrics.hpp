@@ -77,6 +77,11 @@ class Histogram {
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double min() const;
   double max() const;
+  /// q-quantile (0 < q <= 1) by linear interpolation within the bucket
+  /// containing the target rank, clamped to the observed [min, max] —
+  /// the one place percentile math lives (the time-series sampler and the
+  /// decision-latency recorder both delegate here).  0 when empty.
+  double quantile(double q) const;
   void reset();
 
  private:
@@ -94,6 +99,17 @@ class Histogram {
 /// the standard bucket layout for counts (nnz, path lengths, rounds).
 std::vector<double> pow2_buckets(double hi);
 
+/// q-quantile (0 < q <= 1) of a bucketed distribution: `counts` holds one
+/// slot per bound plus the overflow slot at the back (`bounds.size() + 1`
+/// entries); bucket k counts observations in (bounds[k-1], bounds[k]] with
+/// an implicit lower edge of 0 for bucket 0.  Linear interpolation within
+/// the target bucket; a quantile landing in the overflow bucket returns
+/// `observed_max`.  The result is clamped to [observed_min, observed_max]
+/// when that interval is non-empty (pass +inf/-inf to skip clamping, e.g.
+/// for windowed deltas where the extremes are unknown).  0 on zero counts.
+double quantile_from_buckets(const std::vector<double>& bounds, const std::uint64_t* counts,
+                             double q, double observed_min, double observed_max);
+
 /// One flattened value of a metric snapshot: histograms expand to one
 /// sample per statistic (count, sum, min, max, le_<bound>..., overflow).
 struct MetricSample {
@@ -101,6 +117,28 @@ struct MetricSample {
   std::string kind;   ///< "counter" | "gauge" | "histogram"
   std::string field;  ///< "value" for scalars; statistic name for histograms
   double value = 0.0;
+};
+
+/// Structured histogram state at snapshot time: raw per-bucket counts
+/// (overflow last, so `counts.size() == bounds.size() + 1`) plus the
+/// scalar statistics.  Consumers that need bucket math — the Prometheus
+/// exporter's cumulative buckets, the sampler's windowed deltas — use
+/// this instead of re-parsing the flattened le_* fields.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Typed snapshot of the whole registry, each section sorted by name.
+struct RegistrySnapshot {
+  std::vector<MetricSample> counters;  ///< kind == "counter"
+  std::vector<MetricSample> gauges;    ///< kind == "gauge"
+  std::vector<HistogramSnapshot> histograms;
 };
 
 class MetricsRegistry {
@@ -119,6 +157,10 @@ class MetricsRegistry {
 
   /// All metrics, flattened, sorted by (name, field-registration order).
   std::vector<MetricSample> snapshot() const;
+
+  /// Typed snapshot: scalars plus raw histogram bucket counts (see
+  /// RegistrySnapshot) — the exporter/sampler entry point.
+  RegistrySnapshot structured_snapshot() const;
 
   /// Compact CSV dump (`metric,kind,field,value`) via the stats/csv
   /// escaping helpers.

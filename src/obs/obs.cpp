@@ -39,6 +39,26 @@ void reset() {
   tracer().clear();
 }
 
+void sync_trace_dropped() {
+  // Monotone re-publication: inc by the delta since the last sync so the
+  // counter tracks Tracer::dropped() without a settable counter type.
+  // reset() zeroes the counter but not the tracer's lifetime drop count;
+  // the high-water mark keeps later syncs from re-adding old drops.
+  static std::atomic<std::uint64_t> synced{0};
+  const std::uint64_t dropped = tracer().dropped();
+  std::uint64_t seen = synced.load(std::memory_order_relaxed);
+  if (dropped < seen) {  // tracer was cleared: re-base the high-water mark
+    synced.store(dropped, std::memory_order_relaxed);
+    return;
+  }
+  while (dropped > seen) {
+    if (synced.compare_exchange_weak(seen, dropped, std::memory_order_relaxed)) {
+      metrics().counter("obs.trace.dropped_events").inc(static_cast<double>(dropped - seen));
+      break;
+    }
+  }
+}
+
 void save_trace_json(const std::string& path) {
   ensure_parent_directory(path);
   std::ofstream out(path);

@@ -45,6 +45,12 @@ Tracer& tracer();
 /// outstanding handles survive).
 void reset();
 
+/// Fold the tracer's drop count into the `obs.trace.dropped_events`
+/// counter (monotone: increments by the delta since the last sync).
+/// Called by the time-series sampler on every tick and by the exporters,
+/// so trace loss is visible wherever metrics are.
+void sync_trace_dropped();
+
 /// Flush to disk, creating missing parent directories.  Throws
 /// std::runtime_error naming the path on I/O failure.
 void save_trace_json(const std::string& path);

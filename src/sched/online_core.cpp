@@ -5,6 +5,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 #include "ocs/all_stop_executor.hpp"
 #include "sched/reco_sin.hpp"
@@ -52,6 +53,7 @@ void DecisionLatencyRecorder::record_us(double us) {
     ++k;
   }
   ++buckets_[k];
+  min_us_ = count_ == 0 ? us : std::min(min_us_, us);
   ++count_;
   sum_us_ += us;
   max_us_ = std::max(max_us_, us);
@@ -59,15 +61,17 @@ void DecisionLatencyRecorder::record_us(double us) {
 
 double DecisionLatencyRecorder::quantile_us(double q) const {
   if (count_ == 0) return 0.0;
-  const double target = q * static_cast<double>(count_);
-  std::uint64_t cum = 0;
-  double bound = 1.0;
-  for (std::size_t k = 0; k < kBuckets; ++k) {
-    cum += buckets_[k];
-    if (static_cast<double>(cum) >= target) return bound;
-    bound *= 2.0;
-  }
-  return bound;
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b(kBuckets);
+    double bound = 1.0;
+    for (std::size_t k = 0; k < kBuckets; ++k, bound *= 2.0) b[k] = bound;
+    return b;
+  }();
+  // quantile_from_buckets wants a trailing overflow slot; record_us clamps
+  // into the last bucket, so overflow is always empty.
+  std::array<std::uint64_t, kBuckets + 1> counts{};
+  std::copy(buckets_.begin(), buckets_.end(), counts.begin());
+  return obs::quantile_from_buckets(bounds, counts.data(), q, min_us_, max_us_);
 }
 
 OnlineCore::OnlineCore(OnlinePolicyKind kind, const OnlineCoreOptions& options)
@@ -110,7 +114,11 @@ std::uint64_t OnlineCore::submit(const Coflow& coflow) {
   stats_.peak_live = std::max<std::uint64_t>(stats_.peak_live, live_slots_.size());
   stats_.demand_total += coflow.demand.total();
   if (options_.record_cct) cct_.push_back(0.0);
-  if (obs::enabled()) OnlineMetrics::get().submitted.inc();
+  if (obs::enabled()) {
+    OnlineMetrics::get().submitted.inc();
+    obs::flight_recorder().record("admission", coflow.arrival,
+                                  static_cast<std::int64_t>(coflow.id), coflow.demand.total());
+  }
   note_footprint();
   return seq;
 }
@@ -150,6 +158,7 @@ Time OnlineCore::plan(Time now) {
     OnlineMetrics::get().plans.inc();
     OnlineMetrics::get().decision_latency_us.observe(us);
     OnlineMetrics::get().batch_size.observe(static_cast<double>(batch));
+    obs::flight_recorder().record("plan", now, static_cast<std::int64_t>(batch), us);
   }
   span.arg("slices", static_cast<double>(plan_.real.size()));
   return makespan(plan_.real);
@@ -223,6 +232,8 @@ Time OnlineCore::commit(Time cut_local) {
     OnlineMetrics::get().commits.inc();
     OnlineMetrics::get().emitted_slices.inc(static_cast<double>(kept));
     OnlineMetrics::get().reconfigurations.inc(static_cast<double>(reconfs));
+    obs::flight_recorder().record("commit", base_, static_cast<std::int64_t>(kept),
+                                  static_cast<double>(reconfs));
   }
   span.arg("kept_slices", static_cast<double>(kept));
   span.arg("reconfigurations", static_cast<double>(reconfs));

@@ -36,10 +36,11 @@
 namespace reco {
 
 /// Fixed power-of-two-bucket latency sketch: allocation-free recording
-/// (plain array increments), approximate quantiles good to a factor of two
-/// — exactly what a p99-per-decision gauge needs.  Kept separate from the
-/// obs registry so decision latency is first-class in the daemon report
-/// even when telemetry is disabled.
+/// (plain array increments).  Kept separate from the obs registry so
+/// decision latency is first-class in the daemon report even when
+/// telemetry is disabled; quantiles delegate to the shared
+/// obs::quantile_from_buckets interpolation, so percentile math lives in
+/// one place and agrees with the registry histograms.
 class DecisionLatencyRecorder {
  public:
   static constexpr std::size_t kBuckets = 40;  ///< up to 2^39 us (~6.4 days)
@@ -48,14 +49,17 @@ class DecisionLatencyRecorder {
 
   std::uint64_t count() const { return count_; }
   double mean_us() const { return count_ == 0 ? 0.0 : sum_us_ / static_cast<double>(count_); }
+  double min_us() const { return count_ == 0 ? 0.0 : min_us_; }
   double max_us() const { return max_us_; }
-  /// Upper bound of the bucket containing the q-quantile (0 < q <= 1).
+  /// Linearly interpolated q-quantile (0 <= q <= 1) over the pow2 buckets,
+  /// clamped to the observed [min, max].
   double quantile_us(double q) const;
 
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};  ///< bucket k: us <= 2^k
   std::uint64_t count_ = 0;
   double sum_us_ = 0.0;
+  double min_us_ = 0.0;
   double max_us_ = 0.0;
 };
 

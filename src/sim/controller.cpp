@@ -6,6 +6,7 @@
 #include "bvn/regularization.hpp"
 #include "bvn/stuffing.hpp"
 #include "matching/hungarian.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 #include "sched/reco_sin.hpp"
 
@@ -144,7 +145,15 @@ std::optional<CircuitAssignment> RecoveringController::next_assignment(Time now,
       recovery_.emplace(reco_sin_surviving(residual, failed_in_, failed_out_, delta_, policy_));
       replan_needed_ = false;
       ++replans_;
-      if (obs::enabled()) obs::metrics().counter("faults.replans").inc();
+      if (obs::enabled()) {
+        obs::metrics().counter("faults.replans").inc();
+        // A recovery replan IS the incident the flight recorder exists
+        // for: dump the lead-up (port faults, degraded setups, cuts).
+        obs::flight_recorder().record("recovery_replan", now,
+                                      static_cast<std::int64_t>(replans_),
+                                      residual.total());
+        obs::flight_recorder().trigger("recovering-controller replan");
+      }
     }
     auto next = recovery_->next_assignment(now, residual);
     if (next.has_value()) return next;

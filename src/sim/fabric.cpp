@@ -4,6 +4,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/rng.hpp"
@@ -94,6 +95,8 @@ SimulationReport simulate_single_coflow(CircuitController& controller, const Mat
           obs::metrics().counter("faults.port_repairs").inc();
           obs::tracer().sim_instant("port.repair", "sim.fault", at, kFabricTrack,
                                     {{"port", static_cast<double>(t.port)}});
+          obs::flight_recorder().record("port_repair", at, t.port,
+                                        static_cast<double>(t.side));
         }
         controller.on_port_repaired(at, t.port, t.side);
       } else {
@@ -104,6 +107,8 @@ SimulationReport simulate_single_coflow(CircuitController& controller, const Mat
           obs::metrics().counter("faults.port_failures").inc();
           obs::tracer().sim_instant("port.fail", "sim.fault", at, kFabricTrack,
                                     {{"port", static_cast<double>(t.port)}});
+          obs::flight_recorder().record("port_fail", at, t.port,
+                                        static_cast<double>(t.side));
         }
         controller.on_port_failed(at, t.port, t.side);
       }
@@ -183,6 +188,9 @@ SimulationReport simulate_single_coflow(CircuitController& controller, const Mat
         obs::tracer().sim_instant("setup.failed", "sim.fault", now + outcome.setup_time,
                                   kFabricTrack,
                                   {{"attempts", static_cast<double>(outcome.attempts)}});
+        obs::flight_recorder().record("setup_failed", now + outcome.setup_time,
+                                      static_cast<std::int64_t>(live.size()),
+                                      static_cast<double>(outcome.attempts));
       }
       controller.on_setup_degraded(now + outcome.setup_time, assignment, {});
       queue.schedule(now + outcome.setup_time, decide);
@@ -198,6 +206,10 @@ SimulationReport simulate_single_coflow(CircuitController& controller, const Mat
             "setup.partial", "sim.fault", now + outcome.setup_time, kFabricTrack,
             {{"requested", static_cast<double>(live.size())},
              {"established", static_cast<double>(outcome.established_circuits.size())}});
+        obs::flight_recorder().record(
+            "setup_partial", now + outcome.setup_time,
+            static_cast<std::int64_t>(outcome.established_circuits.size()),
+            static_cast<double>(live.size()));
       }
       controller.on_setup_degraded(now + outcome.setup_time, assignment,
                                    outcome.established_circuits);

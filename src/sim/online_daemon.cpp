@@ -4,6 +4,10 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/obs.hpp"
+#include "obs/timeseries.hpp"
+
 namespace reco::sim {
 
 VectorSource::VectorSource(const std::vector<Coflow>& coflows) : coflows_(&coflows) {
@@ -23,12 +27,17 @@ const Coflow* VectorSource::peek() {
 void VectorSource::pop() { ++cursor_; }
 
 OnlineDaemon::OnlineDaemon(OnlinePolicyKind kind, const OnlineDaemonOptions& options)
-    : core_(kind, options.core) {}
+    : core_(kind, options.core), sample_every_(options.sample_every) {}
 
 void OnlineDaemon::reserve(std::size_t expected_coflows) { core_.reserve(expected_coflows); }
 
 OnlineDaemonReport OnlineDaemon::run(CoflowSource& source) {
   source_ = &source;
+  last_activity_ = queue_.now();
+  if (sample_every_ > 0.0 && obs::enabled()) {
+    obs::sim_sampler().sample(queue_.now());  // delta base for the first window
+    schedule_next_sample();
+  }
   schedule_next_arrival();
   queue_.run_all();
   source_ = nullptr;
@@ -36,8 +45,8 @@ OnlineDaemonReport OnlineDaemon::run(CoflowSource& source) {
   OnlineDaemonReport report;
   report.stats = core_.stats();
   report.digest = core_.digest();
-  report.events = queue_.events_processed();
-  report.makespan = queue_.now();
+  report.events = queue_.events_processed() - sample_events_;
+  report.makespan = last_activity_;
   const DecisionLatencyRecorder& lat = core_.latency();
   report.decisions = lat.count();
   report.decision_p50_us = lat.quantile_us(0.5);
@@ -67,6 +76,7 @@ void OnlineDaemon::schedule_next_arrival() {
 }
 
 void OnlineDaemon::on_arrival(Time now) {
+  last_activity_ = now;
   arrival_pending_ = false;
   // Fresh fabric = nothing live and nothing pending: any other !running_
   // state means a replan event is already queued and will pick this up.
@@ -86,6 +96,10 @@ void OnlineDaemon::on_arrival(Time now) {
     running_ = false;
     const Time epoch_end = core_.commit(now - plan_base_);
     const Time replan_at = std::max(now, plan_base_ + epoch_end);
+    if (obs::enabled()) {
+      obs::flight_recorder().record("cut", now, static_cast<std::int64_t>(admitted),
+                                    replan_at - now);
+    }
     const std::uint64_t gen = gen_;
     queue_.schedule(replan_at, [this, gen] { on_replan(queue_.now(), gen); });
   } else if (was_idle) {
@@ -96,6 +110,7 @@ void OnlineDaemon::on_arrival(Time now) {
 
 void OnlineDaemon::on_replan(Time now, std::uint64_t gen) {
   if (gen != gen_ || running_) return;
+  last_activity_ = now;
   // Late-admission boundary: coflows landing within eps of the replan
   // instant join this plan, exactly as the loop driver admits them.
   ingest_until(now + kTimeEps);
@@ -105,6 +120,7 @@ void OnlineDaemon::on_replan(Time now, std::uint64_t gen) {
 
 void OnlineDaemon::on_complete(Time now, std::uint64_t gen) {
   if (gen != gen_) return;
+  last_activity_ = now;
   running_ = false;
   if (core_.policy().preempt_on_arrival()) {
     // No arrival cut this plan: commit it whole.  Every batch coflow
@@ -122,8 +138,22 @@ void OnlineDaemon::on_complete(Time now, std::uint64_t gen) {
 
 void OnlineDaemon::on_fifo_done(Time now, std::uint64_t gen) {
   if (gen != gen_) return;
+  last_activity_ = now;
   running_ = false;
   start_if_idle(now);
+}
+
+void OnlineDaemon::on_sample() {
+  ++sample_events_;
+  obs::sim_sampler().sample(queue_.now());
+  // Any live run keeps >= 1 real event queued (an arrival, completion,
+  // replan, or fifo_done); an empty queue here means the stream drained, so
+  // this tick closed the final window and the chain ends with it.
+  if (!queue_.empty()) schedule_next_sample();
+}
+
+void OnlineDaemon::schedule_next_sample() {
+  queue_.schedule(queue_.now() + sample_every_, [this] { on_sample(); });
 }
 
 void OnlineDaemon::start_if_idle(Time now) {

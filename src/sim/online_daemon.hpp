@@ -78,6 +78,13 @@ class PullSource final : public CoflowSource {
 
 struct OnlineDaemonOptions {
   OnlineCoreOptions core;
+  /// Simulated-time telemetry sampling period in seconds.  > 0 schedules a
+  /// recurring EventQueue event that snapshots the metrics registry into
+  /// `obs::sim_sampler()` every `sample_every` sim-seconds (only while
+  /// obs::enabled(); exact simulated-time windows, unlike the wall
+  /// sampler).  Sampling is write-only: schedules, digest, makespan, and
+  /// the reported event count are byte-identical with it on or off.
+  double sample_every = 0.0;
 };
 
 /// End-of-run summary: core stats plus the daemon-level determinism and
@@ -85,8 +92,8 @@ struct OnlineDaemonOptions {
 struct OnlineDaemonReport {
   OnlineCoreStats stats;
   std::uint64_t digest = 0;          ///< FNV-1a over every emitted slice
-  std::uint64_t events = 0;          ///< EventQueue dispatches
-  Time makespan = 0.0;               ///< sim clock when the queue drained
+  std::uint64_t events = 0;          ///< EventQueue dispatches (excluding sampler ticks)
+  Time makespan = 0.0;               ///< sim clock at the last scheduling event
   double decision_p50_us = 0.0;      ///< per-decision latency quantiles
   double decision_p99_us = 0.0;
   double decision_mean_us = 0.0;
@@ -112,6 +119,8 @@ class OnlineDaemon {
   void on_replan(Time now, std::uint64_t gen);
   void on_complete(Time now, std::uint64_t gen);
   void on_fifo_done(Time now, std::uint64_t gen);
+  void on_sample();
+  void schedule_next_sample();
 
   /// Submit every source coflow with arrival <= horizon; returns how many.
   /// Mirrors the loop driver's eps-tolerant admission boundary.
@@ -122,6 +131,13 @@ class OnlineDaemon {
   OnlineCore core_;
   EventQueue queue_;
   CoflowSource* source_ = nullptr;
+  /// Sim-sampler period (0 = off); ticks ride the EventQueue but never
+  /// touch scheduling state, so they cannot perturb the run.
+  double sample_every_ = 0.0;
+  std::uint64_t sample_events_ = 0;  ///< sampler dispatches, excluded from report
+  /// Sim clock at the most recent *scheduling* event — the report makespan
+  /// (queue_.now() may trail into pure sampler ticks after the last slice).
+  Time last_activity_ = 0.0;
   /// Bumped whenever a cut invalidates in-flight completion/replan events.
   std::uint64_t gen_ = 0;
   /// Absolute end of the committed (kept) prefix still occupying the

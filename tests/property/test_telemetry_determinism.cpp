@@ -4,15 +4,19 @@
 // disabled and comparing the serialized outputs byte for byte.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/coflow.hpp"
+#include "obs/export.hpp"
 #include "obs/obs.hpp"
+#include "obs/timeseries.hpp"
 #include "sched/multi_baselines.hpp"
 #include "sched/reco_sin.hpp"
 #include "sched/solstice.hpp"
+#include "sim/online_daemon.hpp"
 #include "stats/csv.hpp"
 #include "testing_util.hpp"
 #include "trace/rng.hpp"
@@ -89,6 +93,63 @@ TEST(TelemetryDeterminism, RecoMulPipelineIsByteIdentical) {
     EXPECT_GT(obs::metrics().counter("reco_mul.calls").value(), 0.0);
   }
   EXPECT_EQ(off_csv, on_csv) << "reco-mul schedule diverged with telemetry on";
+}
+
+// PR-8 live telemetry: running the daemon with the sim-time sampler
+// ticking on its own event queue AND a live HTTP exporter scraping the
+// registry must not move a single byte of the schedule, the digest, the
+// makespan, or the reported event count.
+TEST(TelemetryDeterminism, OnlineDaemonIsByteIdenticalUnderLiveSampling) {
+  Rng rng(44);
+  std::vector<Coflow> coflows = testing::random_workload(rng, 10, 8, 1e-4, 4.0);
+  for (std::size_t i = 0; i < coflows.size(); ++i) {
+    coflows[i].arrival = 2e-3 * static_cast<double>(i);
+  }
+
+  struct RunResult {
+    std::string slices;
+    std::uint64_t digest = 0;
+    std::uint64_t events = 0;
+    Time makespan = 0.0;
+  };
+  const auto run = [&](bool live) {
+    sim::OnlineDaemonOptions options;
+    options.core.record_schedule = true;
+    options.sample_every = live ? 1e-3 : 0.0;
+    std::optional<obs::MetricsHttpServer> server;
+    if (live) {
+      server.emplace();
+      server->start(0);  // scrape target up for the whole run
+    }
+    sim::OnlineDaemon daemon(OnlinePolicyKind::kDrainReplanRecoMul, options);
+    sim::VectorSource source(coflows);
+    const sim::OnlineDaemonReport report = daemon.run(source);
+    RunResult result;
+    result.slices = slices_csv(daemon.core().schedule());
+    result.digest = report.digest;
+    result.events = report.events;
+    result.makespan = report.makespan;
+    if (server) server->stop();
+    return result;
+  };
+
+  RunResult off;
+  {
+    ObsState obs_off(false);
+    off = run(false);
+  }
+  RunResult on;
+  {
+    ObsState obs_on(true);
+    obs::sim_sampler().clear();
+    on = run(true);
+    EXPECT_GT(obs::sim_sampler().size(), 0u) << "sim sampler never ticked";
+    obs::sim_sampler().clear();
+  }
+  EXPECT_EQ(off.slices, on.slices) << "daemon schedule diverged under live sampling";
+  EXPECT_EQ(off.digest, on.digest);
+  EXPECT_EQ(off.events, on.events) << "sampler ticks leaked into the event count";
+  EXPECT_DOUBLE_EQ(off.makespan, on.makespan);
 }
 
 TEST(TelemetryDeterminism, SequentialMultiIsByteIdentical) {

@@ -59,16 +59,24 @@ TEST(DecisionLatencyRecorder, CountsMeanAndMax) {
   EXPECT_DOUBLE_EQ(r.max_us(), 5.0);
 }
 
-TEST(DecisionLatencyRecorder, QuantilesAreBucketUpperBoundsAndMonotone) {
+TEST(DecisionLatencyRecorder, QuantilesInterpolateAndClampToObservedRange) {
   DecisionLatencyRecorder r;
-  // 3us lands in the (2, 4] bucket; 100us in (64, 128].
+  // 3us lands in the (2, 4] bucket; 100us in (64, 128].  Quantiles are
+  // linearly interpolated within the hit bucket (shared
+  // obs::quantile_from_buckets math) and clamped to [min, max] observed.
   for (int i = 0; i < 99; ++i) r.record_us(3.0);
   r.record_us(100.0);
-  EXPECT_DOUBLE_EQ(r.quantile_us(0.5), 4.0);
+  EXPECT_NEAR(r.quantile_us(0.5), 2.0 + 2.0 * 50.0 / 99.0, 1e-12);
   EXPECT_DOUBLE_EQ(r.quantile_us(0.99), 4.0);
-  EXPECT_DOUBLE_EQ(r.quantile_us(1.0), 128.0);
+  EXPECT_DOUBLE_EQ(r.quantile_us(1.0), 100.0);  // clamped to the observed max
+  EXPECT_DOUBLE_EQ(r.min_us(), 3.0);
   EXPECT_LE(r.quantile_us(0.5), r.quantile_us(0.9));
   EXPECT_LE(r.quantile_us(0.9), r.quantile_us(1.0));
+  // Every quantile stays within what was actually recorded.
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_GE(r.quantile_us(q), r.min_us());
+    EXPECT_LE(r.quantile_us(q), r.max_us());
+  }
 }
 
 // S2 regression: mid-flight epoch cuts must account served volume exactly

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format (version 0.0.4).
+
+Usage: check_prometheus.py FILE [FILE...]
+
+Checks, per file:
+  * every line is a comment (# HELP / # TYPE), blank, or a sample line
+    `name{labels} value` with a legal metric name and a parseable value;
+  * every sample's base name was announced by a preceding # TYPE line;
+  * histogram series are complete and coherent: cumulative `_bucket`
+    counts are nondecreasing in `le` order, the series ends with
+    le="+Inf", and that final bucket equals `_count`;
+  * at least one sample line exists (an empty exposition usually means
+    the exporter was scraped before anything registered).
+
+Exit status 0 on success; 1 with a per-line diagnosis otherwise.
+"""
+import re
+import sys
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>-?(?:[0-9.]+(?:[eE][-+]?[0-9]+)?|NaN|\+Inf|-Inf))$"
+)
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_name(name, metric_type):
+    if metric_type == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+    return name
+
+
+def check_file(path):
+    errors = []
+    declared = {}  # base metric name -> type
+    buckets = {}  # histogram name -> list of (le, count)
+    counts = {}  # histogram name -> _count value
+    samples = 0
+
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                errors.append(f"{path}:{lineno}: malformed comment: {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) < 4:
+                    errors.append(f"{path}:{lineno}: TYPE line missing type: {line!r}")
+                    continue
+                name, metric_type = parts[2], parts[3]
+                if not METRIC_NAME.fullmatch(name):
+                    errors.append(f"{path}:{lineno}: bad metric name {name!r}")
+                if metric_type not in TYPES:
+                    errors.append(f"{path}:{lineno}: bad metric type {metric_type!r}")
+                declared[name] = metric_type
+            continue
+        m = SAMPLE.match(line)
+        if not m:
+            errors.append(f"{path}:{lineno}: not a valid sample line: {line!r}")
+            continue
+        samples += 1
+        name = m.group("name")
+        labels = {}
+        if m.group("labels"):
+            body = m.group("labels")[1:-1]
+            stripped = LABEL.sub("", body).replace(",", "").strip()
+            if stripped:
+                errors.append(f"{path}:{lineno}: malformed labels: {line!r}")
+            labels = dict(LABEL.findall(body))
+        hist = None
+        for base, metric_type in declared.items():
+            if base_name(name, metric_type) == base:
+                hist = (base, metric_type)
+                break
+        if hist is None:
+            errors.append(f"{path}:{lineno}: sample {name!r} has no # TYPE line")
+            continue
+        base, metric_type = hist
+        if metric_type == "histogram":
+            value = float(m.group("value"))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"{path}:{lineno}: _bucket without le label")
+                else:
+                    buckets.setdefault(base, []).append((labels["le"], value))
+            elif name.endswith("_count"):
+                counts[base] = value
+
+    for base, series in sorted(buckets.items()):
+        if series[-1][0] != "+Inf":
+            errors.append(f"{path}: histogram {base!r} does not end with le=\"+Inf\"")
+            continue
+        values = [count for _, count in series]
+        if any(prev > cur for prev, cur in zip(values, values[1:])):
+            errors.append(f"{path}: histogram {base!r} buckets are not cumulative")
+        if base in counts and values[-1] != counts[base]:
+            errors.append(
+                f"{path}: histogram {base!r} +Inf bucket {values[-1]} != _count {counts[base]}"
+            )
+    if samples == 0:
+        errors.append(f"{path}: no sample lines at all")
+    return errors, samples
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors, samples = check_file(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            print(f"{path}: OK ({samples} samples)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
