@@ -31,7 +31,9 @@
 
 #include "bench_util.hpp"
 #include "bvn/bvn.hpp"
+#include "bvn/parallel_peel.hpp"
 #include "bvn/stuffing.hpp"
+#include "core/simd.hpp"
 #include "core/support_index.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "matching/matching_engine.hpp"
@@ -127,6 +129,31 @@ BENCHMARK(BM_PeelParallel)
     ->Args({1024, 8, 1})
     ->Args({1024, 8, 8});
 
+// Speculative lookahead, depth pinned explicitly (BM_PeelParallel runs the
+// auto-resolved production depth).  Args are {N, permille, threads, depth}.
+// Comparing the /8/{threads}/0 and /8/{threads}/{k} rows attributes the
+// lookahead win separately from the SIMD kernel win, which both peels share.
+void BM_PeelSpeculative(benchmark::State& state) {
+  const Matrix stuffed = stuff(swept_input(state, 4));
+  runtime::set_thread_count(static_cast<int>(state.range(2)));
+  const int depth = static_cast<int>(state.range(3));
+  int rounds = 0;
+  for (auto _ : state) {
+    rounds = peel_parallel(SupportIndex(stuffed), depth).num_assignments();
+    benchmark::DoNotOptimize(rounds);
+  }
+  runtime::set_thread_count(0);
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["threads"] = static_cast<double>(state.range(2));
+  state.counters["depth"] = static_cast<double>(depth);
+  report_shape(state, stuffed);
+}
+BENCHMARK(BM_PeelSpeculative)
+    ->Args({1024, 8, 8, 0})
+    ->Args({1024, 8, 8, 2})
+    ->Args({1024, 8, 8, 4})
+    ->Args({1024, 8, 1, 4});
+
 void BM_PeelSequential(benchmark::State& state) {
   const Matrix stuffed = stuff(swept_input(state, 4));
   int rounds = 0;
@@ -138,6 +165,62 @@ void BM_PeelSequential(benchmark::State& state) {
   report_shape(state, stuffed);
 }
 BENCHMARK(BM_PeelSequential)->Args({512, 16})->Args({1024, 8});
+
+// ---- SIMD kernel layer: dispatched tier vs scalar reference --------------
+//
+// Args are {N, tier} with tier 0 = forced scalar, 1 = active dispatch
+// (CPUID x RECO_SIMD).  The loop body is the peel/matching hot pattern the
+// kernels replace: per-row mirror re-gather + max scan over a stuffed
+// index, and the quickselect pool partition.  The /1024/1-vs-/1024/0 ratio
+// is the isolated kernel-layer win (simd_row_speedup_1024); CI guards the
+// dispatched rows against the committed baseline.
+
+void BM_SimdRowKernels(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const simd::Kernels& kn = state.range(1) != 0
+                                ? simd::kernels()
+                                : simd::kernels_for(simd::Level::kScalar);
+  const SupportIndex idx(stuff(sparse_random(n, 0.05, 6)));
+  std::vector<double> buf(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const auto cols = idx.row_support(i);
+      kn.gather(idx.matrix().row_data(i), cols.begin(), cols.size(), buf.data());
+      acc = kn.max_value(buf.data(), cols.size(), acc);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["simd_level"] = static_cast<double>(simd::active_level());
+  report_shape(state, idx.matrix());
+}
+BENCHMARK(BM_SimdRowKernels)->Args({1024, 0})->Args({1024, 1});
+
+void BM_SimdPartition(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const simd::Kernels& kn = state.range(1) != 0
+                                ? simd::kernels()
+                                : simd::kernels_for(simd::Level::kScalar);
+  // The bottleneck-descent value pool: ~8 distinct values per port, halved
+  // around the running pivot until one remains — the quickselect ladder.
+  Rng rng(17);
+  std::vector<double> pool(static_cast<std::size_t>(n) * 8);
+  for (double& v : pool) v = rng.uniform(0.5, 10.0);
+  std::vector<double> work(pool.size());
+  for (auto _ : state) {
+    work = pool;
+    int m = static_cast<int>(work.size());
+    while (m > 1) {
+      const double pivot = work[static_cast<std::size_t>(m) / 2];
+      const int kept = kn.partition_greater(work.data(), m, pivot);
+      m = kept > 0 ? kept : m / 2;  // degenerate pivot: shrink anyway
+    }
+    benchmark::DoNotOptimize(work[0]);
+  }
+  state.counters["simd_level"] = static_cast<double>(simd::active_level());
+  state.counters["N"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SimdPartition)->Args({1024, 0})->Args({1024, 1});
 
 // ---- whole-planner cost vs fabric width (ex-bench_scalability) -----------
 
@@ -221,11 +304,22 @@ std::vector<std::pair<std::string, double>> derived_metrics(
        row_ns(rows, "BM_PeelSequential/512/16") / row_ns(rows, "BM_PeelParallel/512/16/1")},
       {"peel_speedup_1024",
        row_ns(rows, "BM_PeelSequential/1024/8") / row_ns(rows, "BM_PeelParallel/1024/8/1")},
+      // Lookahead win in isolation: same threads, depth 4 vs depth 0.
+      {"spec_speedup_1024", row_ns(rows, "BM_PeelSpeculative/1024/8/8/0") /
+                                row_ns(rows, "BM_PeelSpeculative/1024/8/8/4")},
+      // Kernel-layer win in isolation: dispatched tier vs forced scalar.
+      {"simd_row_speedup_1024",
+       row_ns(rows, "BM_SimdRowKernels/1024/0") / row_ns(rows, "BM_SimdRowKernels/1024/1")},
+      {"simd_partition_speedup_1024",
+       row_ns(rows, "BM_SimdPartition/1024/0") / row_ns(rows, "BM_SimdPartition/1024/1")},
   };
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  return reco::bench::gbench::run_main(argc, argv, {"nnz", "N"}, derived_metrics);
+  // "threads" and "depth" feed the perf guard's oversubscription skip;
+  // "cores" is appended by the harness itself.
+  return reco::bench::gbench::run_main(argc, argv, {"nnz", "N", "threads", "depth"},
+                                       derived_metrics);
 }

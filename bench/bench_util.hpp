@@ -233,6 +233,10 @@ class BaselineReporter : public benchmark::ConsoleReporter {
       row.name = std::move(name);
       row.ns_per_op = run.GetAdjustedRealTime();  // default time unit: ns
       for (const auto& kv : run.counters) row.counters[kv.first] = kv.second.value;
+      // Ground-truth parallelism of the measuring box, recorded per row so
+      // a perf guard elsewhere can tell "this thread sweep had cores to
+      // scale onto" from "this row was measured oversubscribed".
+      row.counters["cores"] = static_cast<double>(runtime::hardware_cores());
       upsert(std::move(row), is_median);
     }
     ConsoleReporter::ReportRuns(reports);
@@ -293,8 +297,13 @@ inline bool write_baseline_json(const std::string& path, const std::vector<Row>&
 /// overrides them on the command line: 0.05 s minimum measuring time and
 /// 3 repetitions with aggregate-only reporting (the baseline then records
 /// the median repetition; see BaselineReporter).
-inline int run_main(int argc, char** argv, const std::vector<std::string>& counter_keys,
+inline int run_main(int argc, char** argv, std::vector<std::string> counter_keys,
                     DerivedFn derived_fn = nullptr) {
+  // Every baseline row carries the measuring box's core count (see
+  // BaselineReporter); make sure the JSON writer emits it.
+  if (std::find(counter_keys.begin(), counter_keys.end(), "cores") == counter_keys.end()) {
+    counter_keys.push_back("cores");
+  }
   std::string baseline_path;
   std::vector<std::string> storage;
   bool has_min_time = false, has_reps = false, has_aggregates = false;

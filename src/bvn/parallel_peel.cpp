@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <limits>
 #include <queue>
 #include <utility>
 #include <vector>
 
 #include "bvn/bvn.hpp"
+#include "core/simd.hpp"
 #include "core/types.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "obs/flight_recorder.hpp"
@@ -39,6 +42,8 @@ struct ParallelPeelMetrics {
   obs::Counter& diff_edges = obs::metrics().counter("bvn.peel.diff_edges");
   obs::Counter& chunks = obs::metrics().counter("bvn.peel.chunks");
   obs::Counter& aborts = obs::metrics().counter("bvn.peel.aborts");
+  obs::Counter& spec_commits = obs::metrics().counter("bvn.peel.spec_commits");
+  obs::Counter& spec_conflicts = obs::metrics().counter("bvn.peel.spec_conflicts");
   obs::Histogram& batch_width =
       obs::metrics().histogram("bvn.peel.batch_width", obs::pow2_buckets(1024.0));
   obs::Histogram& freed_per_round =
@@ -68,9 +73,9 @@ struct PeelState {
   std::vector<int> diff_col;
 
   // Per-round scratch.
-  std::vector<int> freed;       ///< rows zeroed this round, ascending
-  std::vector<int> touched;     ///< rows whose match changed this round
-  std::vector<int> touch_stamp; ///< dedup stamp for `touched`
+  std::vector<int> touched;      ///< rows whose match changed this round
+  std::vector<int> touch_stamp;  ///< dedup stamp for `touched`
+  std::vector<int> touched_cols; ///< cols whose mr changed this round (spec)
   int round_stamp = 0;
 
   // BFS-repair scratch (shortest augmenting path over the support).
@@ -78,6 +83,13 @@ struct PeelState {
   std::vector<int> queue;       ///< BFS ring of rows
   std::vector<int> col_parent;  ///< row that discovered each column
   int visit_stamp = 0;
+
+  // Speculation bookkeeping: epoch stamps of the last committed round that
+  // touched each row/column, checked against a speculation's read set.
+  bool spec_enabled = false;
+  std::vector<int> row_epoch;
+  std::vector<int> col_epoch;
+  int commit_epoch = 0;
 
   void push_key(int row, double k) {
     key[row] = k;
@@ -91,6 +103,75 @@ struct PeelState {
     }
   }
 };
+
+/// One predicted round: the heap entries popped for it (kept verbatim so a
+/// conflict can push them back) and its freed rows, sorted ascending.
+struct SpecGroup {
+  double level = 0.0;       ///< predicted new coefficient prefix C_r
+  int remaining_after = 0;  ///< nnz after this round's zero set
+  std::vector<KeyEntry> entries;
+  std::vector<int> freed;
+};
+
+/// One rewire of the repair unwind, in exact sequential order: row takes
+/// `col`, leaving `prev` (-1 for the freed source row).
+struct SpecOp {
+  int row;
+  int col;
+  int prev;
+};
+
+/// Discovery output of one speculated round: the ops to replay plus the
+/// exact read footprint the validation checks against committed writes.
+struct SpecResult {
+  bool terminal = false;       ///< round zeroes the last of the support
+  bool repair_failed = false;  ///< augmenting path search failed (abort)
+  std::vector<SpecOp> ops;
+  std::vector<int> read_rows;
+  std::vector<int> read_cols;
+};
+
+/// Per-speculation-slot scratch, persistent across batches: snapshot
+/// copies of the matching state plus BFS/read-set stamp arrays.
+struct SpecScratch {
+  std::vector<int> ml;
+  std::vector<int> mr;
+  std::vector<double> key;
+  std::vector<int> visited;
+  std::vector<int> queue;
+  std::vector<int> col_parent;
+  int visit_stamp = 0;
+  std::vector<int> row_seen;
+  std::vector<int> col_seen;
+  int seen_stamp = 0;
+  std::vector<int> zero_col;    ///< zeroed column per freed row, stamped
+  std::vector<int> zero_stamp;
+  int zstamp = 0;
+  /// Cells whose value this round's own repairs materialized: later value
+  /// reads must see them instead of the frozen index (a row bumped twice
+  /// in one round re-reads its own residual write).
+  struct Overlay {
+    int row;
+    int col;
+    double val;
+  };
+  std::vector<Overlay> overlay;
+
+  void ensure(int n) {
+    if (static_cast<int>(visited.size()) != n) {
+      visited.assign(n, 0);
+      queue.assign(n, 0);
+      col_parent.assign(n, 0);
+      row_seen.assign(n, 0);
+      col_seen.assign(n, 0);
+      zero_col.assign(n, 0);
+      zero_stamp.assign(n, 0);
+      visit_stamp = seen_stamp = zstamp = 0;
+    }
+  }
+};
+
+enum class RoundOutcome { kOk, kDrained, kAborted };
 
 /// Shortest augmenting path from `row` over the *support* of `m`
 /// (support-only: every nonzero is an edge, values never probed — so the
@@ -138,10 +219,332 @@ bool repair_row(SupportIndex& m, PeelState& st, int row) {
     st.mr[j] = r;
     st.push_key(r, m.at(r, j) + st.C);
     st.touch(r);
+    if (st.spec_enabled) st.touched_cols.push_back(j);
     if (r == row) break;
     j = prev;
   }
   return true;
+}
+
+/// Pop the next freed group off the key heap: the minimum valid key plus
+/// every key within kTimeEps of it (identical pop/stale-filter order to
+/// the round head of the pre-speculation loop).  False iff no valid entry
+/// remains (cannot happen while the matching is perfect; callers abort).
+bool pop_group(PeelState& st, SpecGroup& g) {
+  g.entries.clear();
+  g.freed.clear();
+  KeyEntry top{};
+  for (;;) {
+    if (st.heap.empty()) return false;
+    top = st.heap.top();
+    st.heap.pop();
+    if (top.ver == st.ver[top.row] && st.ml[top.row] != -1) break;
+  }
+  g.level = top.key;
+  g.entries.push_back(top);
+  g.freed.push_back(top.row);
+  // Every matched key within tolerance of the new prefix hits zero this
+  // round (key - new_c < kTimeEps == the clamp_zero test).
+  while (!st.heap.empty()) {
+    const KeyEntry next = st.heap.top();
+    if (next.ver != st.ver[next.row] || st.ml[next.row] == -1) {
+      st.heap.pop();
+      continue;
+    }
+    if (next.key >= g.level + kTimeEps) break;
+    st.heap.pop();
+    g.entries.push_back(next);
+    g.freed.push_back(next.row);
+  }
+  std::sort(g.freed.begin(), g.freed.end());
+  return true;
+}
+
+/// Stamp this round's write footprint with a fresh commit epoch.
+void stamp_epochs(PeelState& st) {
+  if (!st.spec_enabled) return;
+  ++st.commit_epoch;
+  for (const int r : st.touched) st.row_epoch[r] = st.commit_epoch;
+  for (const int j : st.touched_cols) st.col_epoch[j] = st.commit_epoch;
+}
+
+/// Zero + repair + diff-commit of one round whose freed group was already
+/// popped — byte-for-byte the mutation sequence of the pre-speculation
+/// loop body given the same group.
+RoundOutcome run_round(SupportIndex& m, PeelState& st, const SpecGroup& g) {
+  const double coefficient = g.level - st.C;
+  ++st.round_stamp;
+  st.touched.clear();
+  st.touched_cols.clear();
+  st.durations.push_back(coefficient);
+  st.diff_off.push_back(static_cast<std::uint32_t>(st.diff_row.size()));
+  st.C = g.level;
+
+  // Zero the freed edges (support removal; their residual is exactly 0).
+  for (const int i : g.freed) {
+    const int j = st.ml[i];
+    m.set(i, j, 0.0);
+    st.ml[i] = -1;
+    st.mr[j] = -1;
+    ++st.ver[i];  // invalidate any remaining heap entries
+    st.touch(i);
+    if (st.spec_enabled) st.touched_cols.push_back(j);
+  }
+  if (obs::enabled()) {
+    ParallelPeelMetrics::get().freed_per_round.observe(static_cast<double>(g.freed.size()));
+  }
+
+  // Drained: this round zeroed the last of the support; no next round
+  // to repair for (its diff range stays empty — nothing replays it).
+  if (m.nnz() == 0) {
+    stamp_epochs(st);
+    return RoundOutcome::kDrained;
+  }
+
+  // Repair: re-match every freed row (ascending — deterministic).
+  for (const int i : g.freed) {
+    if (!repair_row(m, st, i)) {
+      stamp_epochs(st);
+      return RoundOutcome::kAborted;
+    }
+  }
+
+  // Commit this round's diff: final (row, col) per touched row.  The
+  // range runs from the diff_off pushed at round start to the one the
+  // next round pushes (or the final sentinel).
+  for (const int r : st.touched) {
+    st.diff_row.push_back(r);
+    st.diff_col.push_back(st.ml[r]);
+  }
+  stamp_epochs(st);
+  return RoundOutcome::kOk;
+}
+
+/// Discover one speculated round against the frozen batch-start state:
+/// run the zero set and the BFS repairs on private snapshot copies of
+/// ml/mr/key, never mutating the shared index, and record (a) the rewire
+/// ops a commit will replay and (b) the exact rows/columns read, for the
+/// validation against intervening commits.
+void discover_spec(const SupportIndex& m, const PeelState& st, const SpecGroup& g,
+                   SpecScratch& sc, SpecResult& out) {
+  out.ops.clear();
+  out.read_rows.clear();
+  out.read_cols.clear();
+  out.repair_failed = false;
+  out.terminal = g.remaining_after == 0;
+
+  const int n = st.n;
+  sc.ensure(n);
+  sc.ml = st.ml;
+  sc.mr = st.mr;
+  sc.key = st.key;
+  sc.overlay.clear();
+  ++sc.seen_stamp;
+  ++sc.zstamp;
+
+  const auto see_row = [&](int r) {
+    if (sc.row_seen[r] != sc.seen_stamp) {
+      sc.row_seen[r] = sc.seen_stamp;
+      out.read_rows.push_back(r);
+    }
+  };
+  const auto see_col = [&](int j) {
+    if (sc.col_seen[j] != sc.seen_stamp) {
+      sc.col_seen[j] = sc.seen_stamp;
+      out.read_cols.push_back(j);
+    }
+  };
+  // Frozen-index value read with the round's own residual writes overlaid
+  // (a row bumped twice re-reads the residual its first bump wrote).
+  const auto value_at = [&](int r, int j) -> double {
+    for (auto it = sc.overlay.rbegin(); it != sc.overlay.rend(); ++it) {
+      if (it->row == r && it->col == j) return it->val;
+    }
+    return m.at(r, j);
+  };
+
+  // Zero phase on the snapshot.  The freed rows' current matched columns
+  // come from the snapshot ml, so the rows join the read set.
+  for (const int i : g.freed) {
+    see_row(i);
+    const int j = sc.ml[i];
+    sc.zero_col[i] = j;
+    sc.zero_stamp[i] = sc.zstamp;
+    sc.ml[i] = -1;
+    sc.mr[j] = -1;
+  }
+  if (out.terminal) return;
+
+  // Repairs, ascending — the BFS of repair_row on the snapshot state.
+  // The frozen support still contains this round's zeroed edges, so a
+  // scan of a freed row skips its own zeroed column.
+  for (const int src : g.freed) {
+    const int stamp = ++sc.visit_stamp;
+    int qh = 0;
+    int qt = 0;
+    sc.queue[qt++] = src;
+    int found_j = -1;
+    while (qh < qt && found_j == -1) {
+      const int u = sc.queue[qh++];
+      see_row(u);
+      const int skip = sc.zero_stamp[u] == sc.zstamp ? sc.zero_col[u] : -1;
+      const auto support = m.row_support(u);
+      const int degree = support.size();
+      for (int e = 0; e < degree; ++e) {
+        const int j = support[e];
+        if (j == skip) continue;
+        if (sc.visited[j] == stamp) continue;
+        sc.visited[j] = stamp;
+        sc.col_parent[j] = u;
+        see_col(j);
+        const int other = sc.mr[j];
+        if (other == -1) {
+          found_j = j;
+          break;
+        }
+        sc.queue[qt++] = other;
+      }
+    }
+    if (found_j == -1) {
+      out.repair_failed = true;  // partial ops replay, then abort
+      return;
+    }
+    int j = found_j;
+    while (true) {
+      const int r = sc.col_parent[j];
+      const int prev = sc.ml[r];
+      if (prev != -1) sc.overlay.push_back({r, prev, sc.key[r] - g.level});
+      sc.ml[r] = j;
+      sc.mr[j] = r;
+      sc.key[r] = value_at(r, j) + g.level;
+      out.ops.push_back({r, j, prev});
+      if (r == src) break;
+      j = prev;
+    }
+  }
+}
+
+/// A speculation may commit iff nothing a committed round wrote since the
+/// batch snapshot intersects what the discovery read:
+///  * every row/column in the read set must carry an epoch stamp no newer
+///    than the batch base (supports, ml/mr/key, and frozen values of
+///    untouched rows are then exactly what sequential discovery would
+///    have seen);
+///  * no key pushed by an intervening commit may fall below this round's
+///    freed band (it would join or undercut the predicted group);
+///  * the predicted "last round" flag must match the real residual nnz.
+bool validate_spec(const PeelState& st, const SupportIndex& m, const SpecGroup& g,
+                   const SpecResult& sp, int base_epoch, double batch_min_push) {
+  if (batch_min_push < g.level + kTimeEps) return false;
+  const bool terminal_now = m.nnz() - static_cast<int>(g.freed.size()) == 0;
+  if (terminal_now != sp.terminal) return false;
+  for (const int r : sp.read_rows) {
+    if (st.row_epoch[r] > base_epoch) return false;
+  }
+  for (const int j : sp.read_cols) {
+    if (st.col_epoch[j] > base_epoch) return false;
+  }
+  return true;
+}
+
+/// Replay a validated speculation on the real state.  Identical mutation
+/// sequence to run_round: same zero set, and the recorded ops stand in
+/// for the BFS result (residuals and keys are recomputed from the *real*
+/// st.key / index values, which validation proved untouched).
+RoundOutcome commit_spec(SupportIndex& m, PeelState& st, const SpecGroup& g,
+                         const SpecResult& sp, double& batch_min_push) {
+  const double coefficient = g.level - st.C;
+  ++st.round_stamp;
+  st.touched.clear();
+  st.touched_cols.clear();
+  st.durations.push_back(coefficient);
+  st.diff_off.push_back(static_cast<std::uint32_t>(st.diff_row.size()));
+  st.C = g.level;
+
+  for (const int i : g.freed) {
+    const int j = st.ml[i];
+    m.set(i, j, 0.0);
+    st.ml[i] = -1;
+    st.mr[j] = -1;
+    ++st.ver[i];
+    st.touch(i);
+    st.touched_cols.push_back(j);
+  }
+  if (obs::enabled()) {
+    ParallelPeelMetrics::get().freed_per_round.observe(static_cast<double>(g.freed.size()));
+  }
+  if (m.nnz() == 0) {
+    stamp_epochs(st);
+    return RoundOutcome::kDrained;
+  }
+
+  for (const SpecOp& op : sp.ops) {
+    if (op.prev != -1) m.set(op.row, op.prev, st.key[op.row] - st.C);
+    st.ml[op.row] = op.col;
+    st.mr[op.col] = op.row;
+    const double k = m.at(op.row, op.col) + st.C;
+    st.push_key(op.row, k);
+    if (k < batch_min_push) batch_min_push = k;
+    st.touch(op.row);
+    st.touched_cols.push_back(op.col);
+  }
+  if (sp.repair_failed) {
+    stamp_epochs(st);
+    return RoundOutcome::kAborted;
+  }
+
+  for (const int r : st.touched) {
+    st.diff_row.push_back(r);
+    st.diff_col.push_back(st.ml[r]);
+  }
+  stamp_epochs(st);
+  return RoundOutcome::kOk;
+}
+
+/// One speculative batch: pop up to depth+1 predicted groups, discover
+/// them concurrently against the frozen state, then commit in round order
+/// with validation.  The first conflict pushes the unconsumed groups back
+/// and re-discovers that round sequentially — ending the batch, never the
+/// peel.
+RoundOutcome run_batch(SupportIndex& m, PeelState& st, int depth,
+                       std::vector<SpecGroup>& groups, std::vector<SpecResult>& specs,
+                       std::vector<SpecScratch>& scratch, std::uint64_t& commits,
+                       std::uint64_t& conflicts) {
+  const int cap = depth + 1;
+  int count = 0;
+  int remaining = m.nnz();
+  while (count < cap && remaining > 0) {
+    if (!pop_group(st, groups[count])) break;
+    remaining -= static_cast<int>(groups[count].freed.size());
+    groups[count].remaining_after = remaining;
+    ++count;
+  }
+  if (count == 0) return RoundOutcome::kAborted;  // heap starved: cannot repair
+  if (count == 1) return run_round(m, st, groups[0]);
+
+  const int base_epoch = st.commit_epoch;
+  runtime::parallel_for(count, [&](int gi) {
+    discover_spec(m, st, groups[gi], scratch[gi], specs[gi]);
+  });
+
+  double batch_min_push = std::numeric_limits<double>::infinity();
+  for (int gi = 0; gi < count; ++gi) {
+    // Group 0 ran against the live state (no commits intervened) and is
+    // valid by construction.
+    if (gi > 0 && !validate_spec(st, m, groups[gi], specs[gi], base_epoch, batch_min_push)) {
+      ++conflicts;
+      for (int gj = gi; gj < count; ++gj) {
+        for (const KeyEntry& e : groups[gj].entries) st.heap.push(e);
+      }
+      SpecGroup& redo = groups[gi];
+      if (!pop_group(st, redo)) return RoundOutcome::kAborted;
+      return run_round(m, st, redo);
+    }
+    const RoundOutcome rc = commit_spec(m, st, groups[gi], specs[gi], batch_min_push);
+    if (gi > 0) ++commits;
+    if (rc != RoundOutcome::kOk) return rc;
+  }
+  return RoundOutcome::kOk;
 }
 
 /// Write every lazily-deferred matched residual back into the index.
@@ -181,9 +584,12 @@ void materialize_schedule(const PeelState& st, CircuitSchedule& schedule) {
     }
   }
 
+  static_assert(sizeof(Circuit) == 2 * sizeof(PortId),
+                "circuit pairs must be two contiguous ports for the interleave kernel");
   const std::size_t base = schedule.assignments.size();
   schedule.assignments.resize(base + static_cast<std::size_t>(rounds));
   runtime::parallel_for(chunks, [&](int c) {
+    const simd::Kernels& kn = simd::kernels();
     std::vector<int> match(snapshots.begin() + static_cast<std::size_t>(c) * n,
                            snapshots.begin() + static_cast<std::size_t>(c + 1) * n);
     const int lo = c * kPeelChunkRounds;
@@ -191,9 +597,10 @@ void materialize_schedule(const PeelState& st, CircuitSchedule& schedule) {
     for (int r = lo; r < hi; ++r) {
       CircuitAssignment& a = schedule.assignments[base + static_cast<std::size_t>(r)];
       a.duration = st.durations[r];
-      a.circuits.clear();
-      a.circuits.reserve(n);
-      for (int i = 0; i < n; ++i) a.circuits.push_back({i, match[i]});
+      // The matching is total (every row matched), so the circuit list is
+      // the pair stream (i, match[i]) — written by the interleave kernel.
+      a.circuits.resize(static_cast<std::size_t>(n));
+      kn.iota_interleave(match.data(), n, reinterpret_cast<PortId*>(a.circuits.data()));
       apply_diffs(r, match);
     }
   });
@@ -208,16 +615,36 @@ void materialize_schedule(const PeelState& st, CircuitSchedule& schedule) {
   }
 }
 
+/// Default speculation depth: the RECO_PEEL_SPEC override if present,
+/// else 0 when there is nothing to overlap onto — a single-threaded
+/// runtime, or a single physical core (oversubscribed workers only add
+/// context switches to the discovery fan-out) — and min(4, workers + 1)
+/// otherwise.
+int resolve_spec_depth() {
+  if (const char* env = std::getenv("RECO_PEEL_SPEC")) {
+    return std::clamp(std::atoi(env), 0, kMaxSpeculationDepth);
+  }
+  const int workers = runtime::global_pool().num_workers();
+  if (workers == 0 || runtime::hardware_cores() < 2) return 0;
+  return std::min(4, workers + 1);
+}
+
 }  // namespace
 
 CircuitSchedule peel_parallel(SupportIndex m) {
+  return peel_parallel(std::move(m), resolve_spec_depth());
+}
+
+CircuitSchedule peel_parallel(SupportIndex m, int spec_depth) {
   CircuitSchedule schedule;
   obs::ScopedSpan span("bvn.peel_parallel", "bvn");
   const int n = m.n();
   if (n == 0 || m.nnz() == 0) return schedule;
+  const int depth = std::clamp(spec_depth, 0, kMaxSpeculationDepth);
 
   PeelState st;
   st.n = n;
+  st.spec_enabled = depth > 0;
   st.ml.assign(n, -1);
   st.mr.assign(n, -1);
   st.key.assign(n, 0.0);
@@ -226,6 +653,10 @@ CircuitSchedule peel_parallel(SupportIndex m) {
   st.visited.assign(n, 0);
   st.queue.assign(n, 0);
   st.col_parent.assign(n, 0);
+  if (st.spec_enabled) {
+    st.row_epoch.assign(n, 0);
+    st.col_epoch.assign(n, 0);
+  }
 
   // Initial perfect matching on the support (canonical threshold-matching
   // path).  No perfect matching up front means no Birkhoff structure to
@@ -252,71 +683,29 @@ CircuitSchedule peel_parallel(SupportIndex m) {
   // st.ml in place, so materialize from a copy taken now.
   std::vector<int> initial_match = st.ml;
 
+  std::vector<SpecGroup> groups(static_cast<std::size_t>(depth) + 1);
+  std::vector<SpecResult> specs(st.spec_enabled ? static_cast<std::size_t>(depth) + 1 : 0);
+  std::vector<SpecScratch> scratch(specs.size());
+  std::uint64_t spec_commits = 0;
+  std::uint64_t spec_conflicts = 0;
+
   bool aborted = false;
   while (m.nnz() > 0) {
-    // Pop the minimum valid key: round coefficient = key_min - C.
-    KeyEntry top{};
-    for (;;) {
-      top = st.heap.top();
-      st.heap.pop();
-      if (top.ver == st.ver[top.row] && st.ml[top.row] != -1) break;
-    }
-    const double new_c = top.key;
-    const double coefficient = new_c - st.C;
-    ++st.round_stamp;
-    st.touched.clear();
-    st.freed.clear();
-    st.freed.push_back(top.row);
-    // Every matched key within tolerance of the new prefix hits zero this
-    // round (key - new_c < kTimeEps == the clamp_zero test).
-    while (!st.heap.empty()) {
-      const KeyEntry next = st.heap.top();
-      if (next.ver != st.ver[next.row] || st.ml[next.row] == -1) {
-        st.heap.pop();
-        continue;
-      }
-      if (next.key >= new_c + kTimeEps) break;
-      st.heap.pop();
-      st.freed.push_back(next.row);
-    }
-    st.durations.push_back(coefficient);
-    st.diff_off.push_back(static_cast<std::uint32_t>(st.diff_row.size()));
-    st.C = new_c;
-
-    // Zero the freed edges (support removal; their residual is exactly 0).
-    std::sort(st.freed.begin(), st.freed.end());
-    for (const int i : st.freed) {
-      const int j = st.ml[i];
-      m.set(i, j, 0.0);
-      st.ml[i] = -1;
-      st.mr[j] = -1;
-      ++st.ver[i];  // invalidate any remaining heap entries
-      st.touch(i);
-    }
-    if (obs::enabled()) {
-      ParallelPeelMetrics::get().freed_per_round.observe(
-          static_cast<double>(st.freed.size()));
-    }
-
-    // Drained: this round zeroed the last of the support; no next round
-    // to repair for (its diff range stays empty — nothing replays it).
-    if (m.nnz() == 0) break;
-
-    // Repair: re-match every freed row (ascending — deterministic).
-    for (const int i : st.freed) {
-      if (!repair_row(m, st, i)) {
+    RoundOutcome rc;
+    if (depth == 0) {
+      SpecGroup& g = groups[0];
+      if (!pop_group(st, g)) {
         aborted = true;
         break;
       }
+      rc = run_round(m, st, g);
+    } else {
+      rc = run_batch(m, st, depth, groups, specs, scratch, spec_commits, spec_conflicts);
     }
-    if (aborted) break;
-
-    // Commit this round's diff: final (row, col) per touched row.  The
-    // range runs from the diff_off pushed at round start to the one the
-    // next round pushes (or the final sentinel).
-    for (const int r : st.touched) {
-      st.diff_row.push_back(r);
-      st.diff_col.push_back(st.ml[r]);
+    if (rc == RoundOutcome::kDrained) break;
+    if (rc == RoundOutcome::kAborted) {
+      aborted = true;
+      break;
     }
   }
   st.diff_off.push_back(static_cast<std::uint32_t>(st.diff_row.size()));
@@ -326,6 +715,8 @@ CircuitSchedule peel_parallel(SupportIndex m) {
     ParallelPeelMetrics& pm = ParallelPeelMetrics::get();
     pm.rounds.inc(static_cast<double>(st.durations.size()));
     pm.diff_edges.inc(static_cast<double>(st.diff_row.size()));
+    if (spec_commits > 0) pm.spec_commits.inc(static_cast<double>(spec_commits));
+    if (spec_conflicts > 0) pm.spec_conflicts.inc(static_cast<double>(spec_conflicts));
   }
 
   if (aborted) {

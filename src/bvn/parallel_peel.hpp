@@ -42,6 +42,20 @@
 // into the index (validate) and falls back to cover_decompose for the
 // remainder — the same escape hatch as the sequential peel, counted in
 // bvn.peel.aborts.
+//
+// Speculative multi-round discovery (this PR): with spec_depth = k > 0,
+// Phase 1 additionally pipelines round *discovery*.  At each step it pops
+// the next k+1 predicted freed groups off the key heap, snapshots the
+// matching state, and discovers all k+1 rounds' repairs concurrently on
+// the ThreadPool against the frozen residual; rounds are then committed
+// strictly in round order, each validated against what the earlier
+// commits actually touched (per-row/per-column epoch stamps plus a
+// min-pushed-key check).  A validated commit is provably the round a
+// sequential discovery would have produced, and a conflicting speculation
+// is thrown away and re-discovered sequentially — so the schedule is
+// byte-identical at every thread count and every speculation depth (see
+// DESIGN.md "Speculative peeling & SIMD dispatch").  Efficiency is
+// visible as bvn.peel.spec_commits / bvn.peel.spec_conflicts.
 #pragma once
 
 #include "core/circuit.hpp"
@@ -56,11 +70,27 @@ namespace reco {
 /// small enough to load-balance hundreds of chunks.
 inline constexpr int kPeelChunkRounds = 32;
 
+/// Hard cap on the speculation depth (lookahead rounds per batch).  Deeper
+/// lookahead multiplies snapshot/validation work for sharply diminishing
+/// overlap, and every depth in [0, cap] must produce identical output
+/// anyway — the cap only bounds scratch memory (one snapshot set per
+/// in-flight speculation).
+inline constexpr int kMaxSpeculationDepth = 8;
+
 /// Lazy-key BvN peel with parallel materialization (see file comment).
 /// Same contract as bvn_decompose's kFirstMatching policy: `m` must hold
 /// a doubly stochastic matrix (the caller checks); the returned schedule's
 /// service matrix equals `m` up to the usual tolerance-scale residue,
 /// covered via the cover_decompose fallback.
+///
+/// The single-argument form resolves the speculation depth automatically:
+/// the RECO_PEEL_SPEC environment variable if set, else 0 on a
+/// single-threaded runtime or a single physical core (speculation without
+/// real parallelism is pure overhead) and min(4, workers + 1) otherwise.  The explicit form clamps
+/// `spec_depth` to [0, kMaxSpeculationDepth]; depth 0 is the plain
+/// sequential Phase-1 chain.  Output is byte-identical across all depths
+/// and thread counts.
 CircuitSchedule peel_parallel(SupportIndex m);
+CircuitSchedule peel_parallel(SupportIndex m, int spec_depth);
 
 }  // namespace reco

@@ -38,6 +38,10 @@ class Matrix {
   double& at(int i, int j) { return v_[idx(i, j)]; }
   double at(int i, int j) const { return v_[idx(i, j)]; }
 
+  /// Contiguous dense row i (n doubles) — the gather-kernel source for the
+  /// SupportIndex value-mirror refresh (see core/simd.hpp).
+  const double* row_data(int i) const { return v_.data() + idx(i, 0); }
+
   /// Number of entries strictly above the simulation tolerance.
   int nnz() const;
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/matrix.hpp"
+#include "core/simd.hpp"
 #include "core/types.hpp"
 
 namespace reco {
@@ -185,9 +186,11 @@ class SupportIndex {
   ValueSpan row_values(int i) const {
     const Block& b = row_blk_[i];
     if (row_dirty_[i]) {
-      const int* cols = row_cols_.data() + b.off;
-      double* vals = row_vals_.data() + b.off;
-      for (int k = 0; k < b.len; ++k) vals[k] = m_.at(i, cols[k]);
+      // Mirror re-gather from the dense row — the hottest gather in the
+      // peel loop, dispatched through the SIMD kernel layer (bit-identical
+      // to the scalar loop at every tier).
+      simd::kernels().gather(m_.row_data(i), row_cols_.data() + b.off, b.len,
+                             row_vals_.data() + b.off);
       row_dirty_[i] = 0;
     }
     return {row_vals_.data() + b.off, b.len};

@@ -44,8 +44,7 @@ int env_thread_count() {
     const int v = std::atoi(env);
     if (v >= 1) return v;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return hardware_cores();
 }
 
 struct GlobalPoolState {
@@ -106,6 +105,11 @@ void ThreadPool::worker_loop() {
     }
     job();
   }
+}
+
+int hardware_cores() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
 int thread_count() {

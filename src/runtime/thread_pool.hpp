@@ -63,6 +63,14 @@ class ThreadPool {
 /// parallel_for / parallel_map runs the plain sequential loop.
 int thread_count();
 
+/// Physical parallelism of the machine: `hardware_concurrency()`, clamped
+/// to >= 1.  Unlike thread_count() this ignores RECO_THREADS and
+/// set_thread_count — it is the ground truth the benchmark baselines
+/// record per entry, so a perf guard on another box can tell "this thread
+/// sweep actually had cores to scale onto" from "this row was measured
+/// oversubscribed on a smaller machine".
+int hardware_cores();
+
 /// Override the thread count (e.g. from a `--threads=N` flag or a test
 /// comparing thread counts); `n <= 0` clears the override, reverting to
 /// RECO_THREADS / hardware_concurrency.  Rebuilds the global pool, so call
