@@ -1,0 +1,245 @@
+// reco_campaign: Monte-Carlo reliability campaigns from the command line
+// (docs/RELIABILITY.md).
+//
+//   reco_campaign [--policies=replan,wait,hybrid] [--mtbf=LIST] [--mttr=LIST]
+//                 [--reps=N] [--seed=N] [--ports=P] [--coflows=N]
+//                 [--delta=SEC] [--c=C] [--hybrid-deadline=SEC]
+//                 [--setup-timeout=P] [--crosspoint=P] [--threads=N]
+//                 [--resamples=B] [--confidence=F]
+//                 [--json=FILE] [--csv=FILE] [--cells-csv=FILE]
+//                 [--checkpoint=FILE] [--checkpoint-every=REPS] [--resume]
+//                 [--stop-after=REPS] [--flight-prefix=PREFIX]
+//                 [--metrics-out=FILE]
+//
+// The campaign sweeps every listed recovery policy over the cartesian
+// MTBF x MTTR grid, running --reps paired replications per cell on the
+// thread pool, and prints per-cell availability aggregates (mean and
+// p50/p99 with bootstrap confidence intervals).  Replications are pure
+// functions of (config, index): the report — including the aggregate
+// digest — is byte-identical across --threads values and checkpoint/
+// resume.  --checkpoint-every=K saves the checkpoint atomically every K
+// completed replications; --stop-after=K exits with status 3 once at
+// least K replications have completed (the kill point for the CI
+// kill-and-resume test); --resume continues a saved campaign (the config
+// flags must match — the checkpoint carries a fingerprint and refuses
+// foreign configs).  --flight-prefix replays each anomalous replication
+// (demand stranded at termination) with the flight recorder armed and
+// dumps "<prefix>rep<index>.jsonl".
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "obs/obs.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace reco;
+
+struct Args {
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      a.options[arg.substr(2)] = "1";
+    } else {
+      a.options[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return a;
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<double> split_doubles(const std::string& s) {
+  std::vector<double> out;
+  for (const std::string& item : split_list(s)) out.push_back(std::atof(item.c_str()));
+  return out;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: reco_campaign [--policies=replan,wait,hybrid] [--mtbf=LIST] [--mttr=LIST]\n"
+      "                     [--reps=N] [--seed=N] [--ports=P] [--coflows=N]\n"
+      "                     [--delta=SEC] [--c=C] [--hybrid-deadline=SEC]\n"
+      "                     [--setup-timeout=P] [--crosspoint=P] [--threads=N]\n"
+      "                     [--resamples=B] [--confidence=F]\n"
+      "                     [--json=FILE] [--csv=FILE] [--cells-csv=FILE]\n"
+      "                     [--checkpoint=FILE] [--checkpoint-every=REPS] [--resume]\n"
+      "                     [--stop-after=REPS] [--flight-prefix=PREFIX]\n"
+      "                     [--metrics-out=FILE]\n");
+  return 2;
+}
+
+void save_checkpoint_atomic(const campaign::CampaignRunner& runner, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + tmp);
+    runner.save_checkpoint(out);
+    out.flush();
+    if (!out) throw std::runtime_error("write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("rename failed for " + path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.has("help")) return usage();
+  if (args.has("threads")) {
+    runtime::set_thread_count(static_cast<int>(args.get_double("threads", 0)));
+  }
+  obs::init_from_env();
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) obs::set_enabled(true);
+
+  campaign::CampaignConfig config;
+  config.ports = static_cast<int>(args.get_double("ports", 24));
+  config.coflows = static_cast<int>(args.get_double("coflows", 8));
+  config.delta = args.get_double("delta", 100e-6);
+  config.c_threshold = args.get_double("c", 4.0);
+  config.seed = static_cast<std::uint64_t>(args.get_double("seed", 1));
+  config.replications = static_cast<int>(args.get_double("reps", 64));
+  config.hybrid_deadline = args.get_double("hybrid-deadline", 0.02);
+  config.setup_timeout_probability = args.get_double("setup-timeout", 0.0);
+  config.crosspoint_failure_probability = args.get_double("crosspoint", 0.0);
+  config.bootstrap.resamples = static_cast<int>(args.get_double("resamples", 1000));
+  config.bootstrap.confidence = args.get_double("confidence", 0.95);
+  config.flight_prefix = args.get("flight-prefix", "");
+
+  try {
+    for (const std::string& name : split_list(args.get("policies", "replan,wait,hybrid"))) {
+      config.policies.push_back(campaign::parse_policy(name));
+    }
+    const std::vector<double> mtbf = split_doubles(args.get("mtbf", "0.05"));
+    const std::vector<double> mttr = split_doubles(args.get("mttr", "0.01"));
+    for (const double b : mtbf) {
+      for (const double r : mttr) config.grid.push_back({b, r});
+    }
+
+    campaign::CampaignRunner runner(config);
+    const std::string checkpoint_path = args.get("checkpoint", "");
+    const auto checkpoint_every =
+        static_cast<std::size_t>(args.get_double("checkpoint-every", 0.0));
+    const auto stop_after = static_cast<std::size_t>(args.get_double("stop-after", 0.0));
+
+    if (args.has("resume")) {
+      if (checkpoint_path.empty()) {
+        std::fprintf(stderr, "--resume requires --checkpoint=FILE\n");
+        return usage();
+      }
+      std::ifstream in(checkpoint_path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot open checkpoint %s\n", checkpoint_path.c_str());
+        return 1;
+      }
+      runner.load_checkpoint(in);
+      std::printf("resumed campaign from %s: %zu/%zu replications done\n",
+                  checkpoint_path.c_str(), runner.completed(), runner.total());
+    }
+
+    // Wave size: checkpoint cadence if set, else everything that is left.
+    // --stop-after caps the target; reaching it mid-campaign exits 3.
+    const std::size_t target =
+        stop_after > 0 ? std::min(runner.total(), stop_after) : runner.total();
+    while (runner.completed() < target) {
+      std::size_t wave = target - runner.completed();
+      if (checkpoint_every > 0) wave = std::min(wave, checkpoint_every);
+      runner.run(wave);
+      if (!checkpoint_path.empty()) save_checkpoint_atomic(runner, checkpoint_path);
+    }
+
+    const campaign::CampaignReport report = runner.report();
+    std::printf("campaign: %llu/%llu replications, %llu anomalies, digest %016llx\n",
+                static_cast<unsigned long long>(report.completed),
+                static_cast<unsigned long long>(report.total),
+                static_cast<unsigned long long>(report.anomalies),
+                static_cast<unsigned long long>(report.digest));
+    for (const campaign::CellSummary& cell : report.cells) {
+      std::printf(
+          "  %-6s mtbf=%-8g mttr=%-8g n=%llu  stranded mean=%g [%g, %g]  "
+          "degraded p99=%g  delivered mean=%g  replans=%g  anomalies=%llu\n",
+          campaign::policy_name(cell.policy), cell.fault.mtbf, cell.fault.mttr,
+          static_cast<unsigned long long>(cell.completed), cell.stranded.mean,
+          cell.stranded.mean_lo, cell.stranded.mean_hi, cell.degraded_time.p99,
+          cell.delivered_fraction.mean, cell.replans_mean,
+          static_cast<unsigned long long>(cell.anomalies));
+    }
+
+    const std::string json_path = args.get("json", "");
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) throw std::runtime_error("cannot open " + json_path);
+      campaign::write_report_json(report, out);
+      std::printf("wrote report to %s\n", json_path.c_str());
+    }
+    const std::string csv_path = args.get("csv", "");
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
+      if (!out) throw std::runtime_error("cannot open " + csv_path);
+      campaign::write_replications_csv(report, out);
+      std::printf("wrote %llu replication rows to %s\n",
+                  static_cast<unsigned long long>(report.completed), csv_path.c_str());
+    }
+    const std::string cells_path = args.get("cells-csv", "");
+    if (!cells_path.empty()) {
+      std::ofstream out(cells_path);
+      if (!out) throw std::runtime_error("cannot open " + cells_path);
+      campaign::write_cells_csv(report, out);
+      std::printf("wrote %zu cell rows to %s\n", report.cells.size(), cells_path.c_str());
+    }
+    if (!metrics_out.empty()) {
+      obs::save_metrics_csv(metrics_out);
+      std::printf("wrote metrics to %s\n", metrics_out.c_str());
+    }
+
+    if (!runner.finished()) {
+      std::printf("stopped after %zu/%zu replications (checkpoint %s)\n", runner.completed(),
+                  runner.total(),
+                  checkpoint_path.empty() ? "not saved" : checkpoint_path.c_str());
+      return 3;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

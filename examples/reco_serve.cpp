@@ -14,6 +14,8 @@
 //              [--trace-out=FILE] [--metrics-out=FILE]
 //              [--sample-every=SEC] [--metrics-port=N] [--hold=SEC]
 //              [--prom-out=FILE] [--snapshot-out=FILE] [--flight-out=FILE]
+//              [--checkpoint-out=FILE] [--checkpoint-every=SEC]
+//              [--resume=FILE] [--stop-after=EVENTS]
 //
 // With --trace the arrival stream is the trace file's coflows (their
 // arrival fields are honoured); otherwise the generator streams coflows
@@ -33,13 +35,26 @@
 // is dumped as JSONL on recovery replans, peel aborts, or abnormal exit.
 // Telemetry is write-only: schedules and digests are byte-identical with
 // every flag on or off.
+//
+// Checkpoint/restart (docs/RELIABILITY.md): SIGINT/SIGTERM request a
+// graceful shutdown — the daemon stops at the next event boundary, writes
+// a final checkpoint to --checkpoint-out (if set), dumps the armed flight
+// recorder, and exits 3.  --checkpoint-every=SEC additionally saves the
+// checkpoint periodically (atomic tmp+rename) during the run;
+// --resume=FILE restores a saved run (identical workload flags required)
+// and drives it to completion — the finished report and digest are
+// byte-identical to an uninterrupted run.  --stop-after=N stops
+// deterministically after N scheduling events (the testable stand-in for
+// a signal).
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,6 +73,10 @@
 namespace {
 
 using namespace reco;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void handle_stop_signal(int /*sig*/) { g_stop = 1; }
 
 struct Args {
   std::map<std::string, std::string> options;
@@ -96,7 +115,9 @@ int usage() {
                "                  [--trace=FILE] [--fb] [--no-schedule] [--csv=FILE]\n"
                "                  [--trace-out=FILE] [--metrics-out=FILE]\n"
                "                  [--sample-every=SEC] [--metrics-port=N] [--hold=SEC]\n"
-               "                  [--prom-out=FILE] [--snapshot-out=FILE] [--flight-out=FILE]\n");
+               "                  [--prom-out=FILE] [--snapshot-out=FILE] [--flight-out=FILE]\n"
+               "                  [--checkpoint-out=FILE] [--checkpoint-every=SEC]\n"
+               "                  [--resume=FILE] [--stop-after=EVENTS]\n");
   return 2;
 }
 
@@ -154,6 +175,17 @@ int main(int argc, char** argv) {
   options.core.record_cct = true;
   options.sample_every = sample_every;
 
+  const std::string checkpoint_out = args.get("checkpoint-out", "");
+  const std::string resume_path = args.get("resume", "");
+  options.stop_flag = &g_stop;
+  options.stop_after_events = static_cast<std::uint64_t>(args.get_double("stop-after", 0.0));
+  options.checkpoint_every = args.get_double("checkpoint-every", 0.0);
+  options.checkpoint_path = checkpoint_out;
+  // Graceful shutdown: the daemon drains to the next event boundary, the
+  // exit path below writes the final checkpoint and flight dump.
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
   try {
     // Live telemetry rigging, before any scheduling: the wall sampler
     // thread ticks the wall-timeline ring, the HTTP endpoint serves both
@@ -176,6 +208,12 @@ int main(int argc, char** argv) {
 
     sim::OnlineDaemonReport report;
     sim::OnlineDaemon daemon(policy, options);
+    const auto drive = [&](sim::CoflowSource& source) {
+      if (resume_path.empty()) return daemon.run(source);
+      std::ifstream in(resume_path, std::ios::binary);
+      if (!in) throw std::runtime_error("cannot open checkpoint " + resume_path);
+      return daemon.resume(source, in);
+    };
     std::size_t arrivals = 0;
     if (args.has("trace")) {
       int ports = 0;
@@ -185,13 +223,13 @@ int main(int argc, char** argv) {
       arrivals = coflows.size();
       daemon.reserve(arrivals);
       sim::VectorSource source(coflows);
-      report = daemon.run(source);
+      report = drive(source);
     } else {
       arrivals = static_cast<std::size_t>(gen.num_coflows);
       daemon.reserve(arrivals);
       ArrivalStream stream(gen);
       sim::PullSource<ArrivalStream> source(stream);
-      report = daemon.run(source);
+      report = drive(source);
     }
 
     std::printf("reco_serve/%s (%s ordering): %zu arrivals, %llu finished, makespan %g s\n",
@@ -246,6 +284,31 @@ int main(int argc, char** argv) {
     if (!snapshot_out.empty()) {
       obs::save_snapshot_json(snapshot_out);
       std::printf("wrote time-series snapshot to %s\n", snapshot_out.c_str());
+    }
+    if (report.checkpoints_written > 0) {
+      std::printf("  wrote %llu periodic checkpoints to %s\n",
+                  static_cast<unsigned long long>(report.checkpoints_written),
+                  checkpoint_out.c_str());
+    }
+    if (report.interrupted) {
+      if (!checkpoint_out.empty()) {
+        std::ofstream out(checkpoint_out, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("cannot open checkpoint " + checkpoint_out);
+        daemon.save_checkpoint(out);
+        out.flush();
+        if (!out) throw std::runtime_error("checkpoint write failed for " + checkpoint_out);
+        std::printf("interrupted at %llu events: checkpoint written to %s\n",
+                    static_cast<unsigned long long>(report.events), checkpoint_out.c_str());
+      } else {
+        std::printf("interrupted at %llu events (no --checkpoint-out; progress discarded)\n",
+                    static_cast<unsigned long long>(report.events));
+      }
+      if (obs::enabled()) {
+        obs::flight_recorder().record("graceful_shutdown", report.makespan,
+                                      static_cast<std::int64_t>(report.events));
+        obs::flight_recorder().trigger("reco_serve graceful shutdown");
+      }
+      return 3;
     }
     const bool complete = report.stats.finished == report.stats.submitted;
     return complete ? 0 : 1;

@@ -182,55 +182,119 @@ void MetricsHttpServer::stop() {
   running_.store(false, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// poll() retrying EINTR; returns poll's result (0 = timeout, < 0 = error).
+int poll_retry(int fd, short events, int timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  int r;
+  do {
+    r = ::poll(&pfd, 1, timeout_ms);
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+}  // namespace
+
 void MetricsHttpServer::serve_loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);  // 200 ms stop-flag granularity
+    const int ready = poll_retry(listen_fd_, POLLIN, 200);  // 200 ms stop granularity
     if (ready <= 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    int client;
+    do {
+      client = ::accept(listen_fd_, nullptr, nullptr);
+    } while (client < 0 && errno == EINTR);
     if (client < 0) continue;
-
-    char buf[2048];
-    const ssize_t got = ::recv(client, buf, sizeof(buf) - 1, 0);
-    std::string target;
-    if (got > 0) {
-      buf[got] = '\0';
-      // Request line: METHOD SP target SP version.  Only GET is routed.
-      const char* sp1 = std::strchr(buf, ' ');
-      const char* sp2 = sp1 != nullptr ? std::strchr(sp1 + 1, ' ') : nullptr;
-      if (sp1 != nullptr && sp2 != nullptr && std::strncmp(buf, "GET ", 4) == 0) {
-        target.assign(sp1 + 1, sp2);
-      }
-    }
-
-    std::ostringstream body;
-    const char* status = "200 OK";
-    const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
-    if (target == "/metrics") {
-      write_prometheus_page(body);
-    } else if (target == "/snapshot") {
-      write_snapshot_json(body);
-      content_type = "application/json";
-    } else {
-      status = "404 Not Found";
-      content_type = "text/plain; charset=utf-8";
-      body << "404: routes are GET /metrics and GET /snapshot\n";
-    }
-
-    const std::string payload = body.str();
-    std::ostringstream head;
-    head << "HTTP/1.0 " << status << "\r\nContent-Type: " << content_type
-         << "\r\nContent-Length: " << payload.size() << "\r\nConnection: close\r\n\r\n";
-    const std::string response = head.str() + payload;
-    std::size_t sent = 0;
-    while (sent < response.size()) {
-      const ssize_t n = ::send(client, response.data() + sent, response.size() - sent, 0);
-      if (n <= 0) break;
-      sent += static_cast<std::size_t>(n);
-    }
+    serve_client(client);
     ::close(client);
-    requests_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void MetricsHttpServer::serve_client(int client) {
+  const int timeout_ms = client_timeout_ms_.load(std::memory_order_relaxed);
+
+  // Read until the request line is complete (a well-behaved scraper sends
+  // it in one segment, but partial delivery is legal), bounding both the
+  // total size and the time we are willing to wait on one client.
+  std::string request;
+  bool oversized = false;
+  while (request.find('\n') == std::string::npos) {
+    if (request.size() >= kMaxRequestBytes) {
+      oversized = true;
+      break;
+    }
+    if (poll_retry(client, POLLIN, timeout_ms) <= 0) {
+      // Idle/trickling client (or poll error): drop it, never wedge.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    char buf[2048];
+    ssize_t got;
+    do {
+      got = ::recv(client, buf, sizeof(buf), 0);
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) {
+      // Peer closed (or hard error) before finishing the request line.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    request.append(buf, static_cast<std::size_t>(got));
+  }
+
+  // Request line: METHOD SP target SP version.  Only GET is routed.
+  std::string target;
+  if (!oversized) {
+    const std::size_t sp1 = request.find(' ');
+    const std::size_t sp2 = sp1 != std::string::npos ? request.find(' ', sp1 + 1)
+                                                     : std::string::npos;
+    if (sp2 != std::string::npos && request.compare(0, 4, "GET ") == 0) {
+      target = request.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+  }
+
+  std::ostringstream body;
+  const char* status = "200 OK";
+  const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
+  if (oversized) {
+    status = "413 Content Too Large";
+    content_type = "text/plain; charset=utf-8";
+    body << "413: request exceeds " << kMaxRequestBytes << " bytes\n";
+  } else if (target == "/metrics") {
+    write_prometheus_page(body);
+  } else if (target == "/snapshot") {
+    write_snapshot_json(body);
+    content_type = "application/json";
+  } else {
+    status = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body << "404: routes are GET /metrics and GET /snapshot\n";
+  }
+
+  const std::string payload = body.str();
+  std::ostringstream head;
+  head << "HTTP/1.0 " << status << "\r\nContent-Type: " << content_type
+       << "\r\nContent-Length: " << payload.size() << "\r\nConnection: close\r\n\r\n";
+  const std::string response = head.str() + payload;
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    if (poll_retry(client, POLLOUT, timeout_ms) <= 0) {
+      // Client stopped reading: drop the rest of the response.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ssize_t n;
+    do {
+      // MSG_NOSIGNAL: a client hanging up mid-response must surface as
+      // EPIPE here, not SIGPIPE the whole process.
+      n = ::send(client, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace reco::obs

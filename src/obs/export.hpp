@@ -56,8 +56,21 @@ void save_snapshot_json(const std::string& path);
 
 /// Minimal single-connection HTTP/1.0 server on a background thread.
 /// Routes: GET /metrics, GET /snapshot (404 otherwise).  Loopback only.
+///
+/// Hardened against misbehaving clients, since a wedged exporter would
+/// outlive the run it observes: every poll/accept/recv/send retries EINTR,
+/// requests are read across partial segments until the request line is
+/// complete, request size is bounded (kMaxRequestBytes; over-limit clients
+/// get 413), sends use MSG_NOSIGNAL (a client hanging up mid-response
+/// cannot SIGPIPE the process), and each client gets an idle timeout
+/// (default 2 s) on both the read and write side — a client that connects
+/// and goes silent, trickles bytes forever, or stops reading the response
+/// is dropped at the next timeout and the server moves on.
 class MetricsHttpServer {
  public:
+  /// Request-line bound: longer requests are answered 413 and dropped.
+  static constexpr std::size_t kMaxRequestBytes = 8192;
+
   MetricsHttpServer() = default;
   ~MetricsHttpServer();
 
@@ -77,15 +90,28 @@ class MetricsHttpServer {
   std::uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Clients dropped for idle timeout / trickling / not reading.
+  std::uint64_t clients_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-client read/write idle timeout (tests shrink it to keep the
+  /// slow-client cases fast).  Applies to clients accepted afterwards.
+  void set_client_timeout_ms(int ms) {
+    client_timeout_ms_.store(ms, std::memory_order_relaxed);
+  }
 
  private:
   void serve_loop();
+  void serve_client(int client);
 
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<int> client_timeout_ms_{2000};
   std::thread thread_;
 };
 

@@ -341,6 +341,177 @@ void OnlineCore::finish_slot(int slot, Time done_at) {
   if (obs::enabled()) OnlineMetrics::get().finished.inc();
 }
 
+void DecisionLatencyRecorder::save(SnapshotWriter& out) const {
+  for (const std::uint64_t b : buckets_) out.put_u64(b);
+  out.put_u64(count_);
+  out.put_f64(sum_us_);
+  out.put_f64(min_us_);
+  out.put_f64(max_us_);
+}
+
+void DecisionLatencyRecorder::load(SnapshotReader& in) {
+  for (std::uint64_t& b : buckets_) b = in.get_u64();
+  count_ = in.get_u64();
+  sum_us_ = in.get_f64();
+  min_us_ = in.get_f64();
+  max_us_ = in.get_f64();
+}
+
+void OnlineCore::save(SnapshotWriter& out) const {
+  out.put_u8(static_cast<std::uint8_t>(kind_));
+  out.put_f64(options_.delta);
+  out.put_f64(options_.c_threshold);
+  out.put_u8(static_cast<std::uint8_t>(options_.ordering));
+  out.put_bool(options_.record_schedule);
+  out.put_bool(options_.record_cct);
+
+  out.put_u64(slots_.size());
+  for (const Slot& s : slots_) {
+    out.put_i32(s.id);
+    out.put_u64(s.seq);
+    out.put_f64(s.weight);
+    out.put_f64(s.arrival);
+    out.put_f64(s.last_end);
+    save_support_index(out, s.residual);
+  }
+  out.put_u64(free_slots_.size());
+  for (const int slot : free_slots_) out.put_i32(slot);
+  out.put_u64(live_slots_.size());
+  for (const int slot : live_slots_) out.put_i32(slot);
+
+  out.put_bool(has_plan_);
+  out.put_f64(base_);
+
+  out.put_u64(stats_.submitted);
+  out.put_u64(stats_.finished);
+  out.put_u64(stats_.plans);
+  out.put_u64(stats_.commits);
+  out.put_u64(stats_.emitted_slices);
+  out.put_u64(stats_.slot_reuses);
+  out.put_u64(stats_.alloc_events);
+  out.put_u64(stats_.peak_live);
+  out.put_i32(stats_.reconfigurations);
+  out.put_i32(stats_.epochs);
+  out.put_f64(stats_.demand_total);
+  out.put_f64(stats_.delivered_total);
+  out.put_f64(stats_.total_weighted_cct);
+
+  latency_.save(out);
+  out.put_u64(digest_);
+
+  out.put_u64(cct_.size());
+  for (const Time t : cct_) out.put_f64(t);
+  out.put_u64(schedule_.size());
+  for (const FlowSlice& s : schedule_) {
+    out.put_f64(s.start);
+    out.put_f64(s.end);
+    out.put_i32(s.src);
+    out.put_i32(s.dst);
+    out.put_i32(s.coflow);
+  }
+  out.put_u64(footprint_high_water_);
+}
+
+void OnlineCore::load(SnapshotReader& in) {
+  const auto kind = in.get_u8();
+  if (kind != static_cast<std::uint8_t>(kind_)) {
+    throw std::runtime_error("OnlineCore::load: checkpoint was written with a different policy");
+  }
+  const double delta = in.get_f64();
+  const double c_threshold = in.get_f64();
+  const auto ordering = in.get_u8();
+  const bool record_schedule = in.get_bool();
+  const bool record_cct = in.get_bool();
+  if (delta != options_.delta || c_threshold != options_.c_threshold ||
+      ordering != static_cast<std::uint8_t>(options_.ordering) ||
+      record_schedule != options_.record_schedule || record_cct != options_.record_cct) {
+    throw std::runtime_error("OnlineCore::load: checkpoint was written with different options");
+  }
+
+  const std::uint64_t slot_count = in.get_u64();
+  slots_.clear();
+  slots_.reserve(slot_count);
+  for (std::uint64_t k = 0; k < slot_count; ++k) {
+    Slot s;
+    s.id = in.get_i32();
+    s.seq = in.get_u64();
+    s.weight = in.get_f64();
+    s.arrival = in.get_f64();
+    s.last_end = in.get_f64();
+    s.residual = load_support_index(in);
+    // Same capacity discipline as submit()'s fresh-slot path: re-seats of a
+    // restored slot never allocate.
+    s.residual.reserve_dense();
+    slots_.push_back(std::move(s));
+  }
+  const auto read_slot_list = [&](std::vector<int>& list) {
+    const std::uint64_t count = in.get_u64();
+    list.clear();
+    list.reserve(count);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      const int slot = in.get_i32();
+      if (slot < 0 || static_cast<std::uint64_t>(slot) >= slot_count) {
+        throw std::runtime_error("OnlineCore::load: slot index out of range");
+      }
+      list.push_back(slot);
+    }
+  };
+  read_slot_list(free_slots_);
+  read_slot_list(live_slots_);
+
+  const bool had_plan = in.get_bool();
+  const Time base = in.get_f64();
+
+  stats_.submitted = in.get_u64();
+  stats_.finished = in.get_u64();
+  stats_.plans = in.get_u64();
+  stats_.commits = in.get_u64();
+  stats_.emitted_slices = in.get_u64();
+  stats_.slot_reuses = in.get_u64();
+  stats_.alloc_events = in.get_u64();
+  stats_.peak_live = in.get_u64();
+  stats_.reconfigurations = in.get_i32();
+  stats_.epochs = in.get_i32();
+  stats_.demand_total = in.get_f64();
+  stats_.delivered_total = in.get_f64();
+  stats_.total_weighted_cct = in.get_f64();
+
+  latency_.load(in);
+  digest_ = in.get_u64();
+
+  const std::uint64_t cct_count = in.get_u64();
+  cct_.clear();
+  cct_.reserve(cct_count);
+  for (std::uint64_t k = 0; k < cct_count; ++k) cct_.push_back(in.get_f64());
+  const std::uint64_t slice_count = in.get_u64();
+  schedule_.clear();
+  schedule_.reserve(slice_count);
+  for (std::uint64_t k = 0; k < slice_count; ++k) {
+    FlowSlice s;
+    s.start = in.get_f64();
+    s.end = in.get_f64();
+    s.src = in.get_i32();
+    s.dst = in.get_i32();
+    s.coflow = in.get_i32();
+    schedule_.push_back(s);
+  }
+  footprint_high_water_ = in.get_u64();
+
+  has_plan_ = false;
+  if (had_plan) {
+    // Rebuild the outstanding plan by re-running the pipeline on the
+    // restored residuals.  plan() is a pure function of the live set
+    // (residuals only move in commit()), so plan_/packet_/order_ come back
+    // bit-identical; its stats/latency side effects are then undone so the
+    // restored totals stand.
+    const OnlineCoreStats saved_stats = stats_;
+    const DecisionLatencyRecorder saved_latency = latency_;
+    plan(base);
+    stats_ = saved_stats;
+    latency_ = saved_latency;
+  }
+}
+
 void OnlineCore::note_footprint() {
   const std::size_t footprint = capacity_footprint();
   if (footprint > footprint_high_water_) {

@@ -25,6 +25,7 @@
 
 #include "core/coflow.hpp"
 #include "core/slice.hpp"
+#include "core/snapshot.hpp"
 #include "core/support_index.hpp"
 #include "core/types.hpp"
 #include "matching/matching_engine.hpp"
@@ -54,6 +55,13 @@ class DecisionLatencyRecorder {
   /// Linearly interpolated q-quantile (0 <= q <= 1) over the pow2 buckets,
   /// clamped to the observed [min, max].
   double quantile_us(double q) const;
+
+  /// Checkpoint hooks: totals resume across a restart.  Latency is
+  /// wall-clock and therefore *not* part of the byte-identity contract —
+  /// post-resume recordings depend on the machine — but carrying the
+  /// counters over keeps lifetime summaries meaningful.
+  void save(SnapshotWriter& out) const;
+  void load(SnapshotReader& in);
 
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};  ///< bucket k: us <= 2^k
@@ -149,6 +157,20 @@ class OnlineCore {
 
   const OnlineCoreStats& stats() const { return stats_; }
   const DecisionLatencyRecorder& latency() const { return latency_; }
+
+  /// Serialize the full scheduling state: slots (sparse residuals), live
+  /// and free lists, stats, digest, CCTs, the recorded schedule, and —
+  /// crucially — only a *flag* for an outstanding plan.  Plans are a pure
+  /// function of the live residuals (residuals are untouched between
+  /// plan() and commit()), so load() rebuilds an outstanding plan by
+  /// re-running plan() on the restored slots instead of serializing
+  /// RecoMulSchedule internals; the rebuilt plan is bit-identical, and the
+  /// resumed run's digest, schedule, and stats match the uninterrupted
+  /// run's exactly.  load() requires a core constructed with the same
+  /// policy kind and options (verified; throws std::runtime_error on
+  /// mismatch).
+  void save(SnapshotWriter& out) const;
+  void load(SnapshotReader& in);
   /// FNV-1a over every emitted slice (start/end bits, ports, coflow id) —
   /// the byte-identity witness for thread-count and daemon-vs-loop
   /// equivalence without storing a 100k-coflow schedule.

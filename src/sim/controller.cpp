@@ -85,12 +85,14 @@ std::optional<CircuitAssignment> AdaptiveRecoController::next_assignment(
 }
 
 RecoveringController::RecoveringController(std::unique_ptr<CircuitController> inner, Time delta,
-                                           BvnPolicy policy)
-    : inner_(std::move(inner)), delta_(delta), policy_(policy) {}
+                                           BvnPolicy policy, Time replan_deadline)
+    : inner_(std::move(inner)), delta_(delta), policy_(policy),
+      replan_deadline_(replan_deadline) {}
 
-RecoveringController::RecoveringController(CircuitSchedule initial, Time delta, BvnPolicy policy)
+RecoveringController::RecoveringController(CircuitSchedule initial, Time delta, BvnPolicy policy,
+                                           Time replan_deadline)
     : RecoveringController(std::make_unique<ReplayController>(std::move(initial)), delta,
-                           policy) {}
+                           policy, replan_deadline) {}
 
 void RecoveringController::mark_port(PortId port, PortSide side, bool failed) {
   const auto size = static_cast<std::size_t>(port) + 1;
@@ -100,14 +102,34 @@ void RecoveringController::mark_port(PortId port, PortSide side, bool failed) {
   if (side == PortSide::kEgress || side == PortSide::kBoth) failed_out_[port] = failed;
 }
 
-void RecoveringController::on_port_failed(Time /*now*/, PortId port, PortSide side) {
+bool RecoveringController::any_port_failed() const {
+  for (const char f : failed_in_) {
+    if (f) return true;
+  }
+  for (const char f : failed_out_) {
+    if (f) return true;
+  }
+  return false;
+}
+
+void RecoveringController::on_port_failed(Time now, PortId port, PortSide side) {
   mark_port(port, side, true);
+  if (!degraded_) degraded_since_ = now;
   degraded_ = true;
   replan_needed_ = true;
 }
 
 void RecoveringController::on_port_repaired(Time /*now*/, PortId port, PortSide side) {
   mark_port(port, side, false);
+  if (replan_deadline_ > 0.0 && !recovery_.has_value() && !any_port_failed()) {
+    // Hybrid grace window paid off: every port is back and no recovery plan
+    // was ever built, so the original plan simply resumes — the fault cost
+    // only the degraded interval, not a replan.
+    degraded_ = false;
+    replan_needed_ = false;
+    degraded_since_ = -1.0;
+    return;
+  }
   // Capacity came back: re-plan so the repaired port rejoins service.
   replan_needed_ = true;
 }
@@ -124,10 +146,25 @@ void RecoveringController::on_setup_degraded(Time /*now*/,
 std::optional<CircuitAssignment> RecoveringController::next_assignment(Time now,
                                                                        const Matrix& residual) {
   if (!degraded_) return inner_->next_assignment(now, residual);
+  const auto down = [](const std::vector<char>& mask, int p) {
+    return p < static_cast<int>(mask.size()) && mask[p];
+  };
+  if (replan_deadline_ > 0.0 && !recovery_.has_value() && degraded_since_ >= 0.0 &&
+      now + kTimeEps < degraded_since_ + replan_deadline_) {
+    // Hybrid grace window: ride the old plan's surviving circuits while the
+    // repair bet is still open.  A proposal with no live useful circuit
+    // means waiting can only idle the fabric, so fall through and replan
+    // early instead of burning the rest of the deadline.
+    auto next = inner_->next_assignment(now, residual);
+    if (next.has_value()) {
+      for (const Circuit& c : next->circuits) {
+        if (down(failed_in_, c.in) || down(failed_out_, c.out)) continue;
+        if (residual.at(c.in, c.out) >= kMinServiceQuantum) return next;
+      }
+    }
+    // Inner exhausted or fully blocked: the recovery planner takes over now.
+  }
   const auto deliverable = [&]() {
-    const auto down = [](const std::vector<char>& mask, int p) {
-      return p < static_cast<int>(mask.size()) && mask[p];
-    };
     for (int i = 0; i < residual.n(); ++i) {
       if (down(failed_in_, i)) continue;
       for (int j = 0; j < residual.n(); ++j) {

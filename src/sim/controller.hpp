@@ -93,14 +93,28 @@ class AdaptiveRecoController final : public CircuitController {
 /// degraded setup.  When every remaining flow needs a dead port it stops,
 /// so a run under permanent faults terminates with the undeliverable
 /// demand accounted as stranded instead of hanging.
+///
+/// Hybrid replan-after-deadline (`replan_deadline > 0`): on a fault, keep
+/// riding the surviving circuits of the *old* plan for up to
+/// `replan_deadline` seconds, betting on a quick repair.  If every port
+/// comes back before the first recovery plan is built, service continues
+/// on the original plan with zero replans (wait-for-repair behavior); if
+/// the deadline expires — or the old plan has no surviving useful circuit
+/// left, so waiting would only idle the fabric — the recovery planner
+/// takes over exactly as in the immediate-replan mode.  The deadline has
+/// decision granularity: expiry is observed at the next decision instant.
+/// `replan_deadline == 0` (default) is the historical immediate-replan
+/// behavior, bit for bit.
 class RecoveringController final : public CircuitController {
  public:
   RecoveringController(std::unique_ptr<CircuitController> inner, Time delta,
-                       BvnPolicy policy = BvnPolicy::kMaxMinAmortized);
+                       BvnPolicy policy = BvnPolicy::kMaxMinAmortized,
+                       Time replan_deadline = 0.0);
   /// Convenience: recover over a precomputed schedule (wraps a
   /// ReplayController).
   RecoveringController(CircuitSchedule initial, Time delta,
-                       BvnPolicy policy = BvnPolicy::kMaxMinAmortized);
+                       BvnPolicy policy = BvnPolicy::kMaxMinAmortized,
+                       Time replan_deadline = 0.0);
 
   std::optional<CircuitAssignment> next_assignment(Time now, const Matrix& residual) override;
   void on_port_failed(Time now, PortId port, PortSide side) override;
@@ -113,14 +127,17 @@ class RecoveringController final : public CircuitController {
 
  private:
   void mark_port(PortId port, PortSide side, bool failed);
+  bool any_port_failed() const;
 
   std::unique_ptr<CircuitController> inner_;
   Time delta_;
   BvnPolicy policy_;
+  Time replan_deadline_;
   std::vector<char> failed_in_;
   std::vector<char> failed_out_;
   bool degraded_ = false;       ///< once true, the recovery planner owns the run
   bool replan_needed_ = false;
+  Time degraded_since_ = -1.0;  ///< hybrid grace-window anchor (< 0: unset)
   std::optional<ReplayController> recovery_;
   int replans_ = 0;
 };

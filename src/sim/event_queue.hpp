@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <new>
+#include <stdexcept>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -140,6 +141,20 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   Time now() const { return now_; }
   std::uint64_t events_processed() const { return processed_; }
+
+  /// Checkpoint-restore hook: reset the clock and dispatch counter of an
+  /// *empty* queue to a saved position.  Callers re-schedule the pending
+  /// events themselves (closures are not serializable); scheduling after
+  /// restore hands out fresh sequence numbers, so re-insertion order
+  /// reproduces the saved tie-break order.
+  void restore(Time now, std::uint64_t processed) {
+    if (!heap_.empty()) {
+      throw std::logic_error("EventQueue::restore: queue must be empty");
+    }
+    now_ = now;
+    processed_ = processed;
+    next_seq_ = 0;
+  }
   /// Heap-vector capacity in entries — alloc accounting for long runs (the
   /// daemon keeps a bounded number of outstanding events, so this plateaus
   /// during warm-up).

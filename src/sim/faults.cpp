@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "trace/line_reader.hpp"
+
 namespace reco::sim {
 
 namespace {
@@ -256,17 +258,87 @@ SetupOutcome FaultInjector::sample_setup(Time delta, const std::vector<Circuit>&
   return out;
 }
 
-std::vector<PortFault> parse_fault_trace(std::istream& in) {
+namespace {
+
+void save_rng(SnapshotWriter& out, const Rng& rng) {
+  const RngState st = rng.state();
+  for (int k = 0; k < 4; ++k) out.put_u64(st.s[k]);
+  out.put_bool(st.have_spare);
+  out.put_u64(st.spare_bits);
+}
+
+void load_rng(SnapshotReader& in, Rng& rng) {
+  RngState st;
+  for (int k = 0; k < 4; ++k) st.s[k] = in.get_u64();
+  st.have_spare = in.get_bool();
+  st.spare_bits = in.get_u64();
+  rng.set_state(st);
+}
+
+}  // namespace
+
+void FaultInjector::save_state(SnapshotWriter& out) const {
+  save_rng(out, setup_rng_);
+  save_rng(out, port_rng_);
+  out.put_i32(num_ports_);
+  out.put_bool(bound_);
+  out.put_u64(pending_.size());
+  for (const Pending& p : pending_) {
+    out.put_f64(p.t.at);
+    out.put_i32(p.t.port);
+    out.put_u8(static_cast<std::uint8_t>(p.t.side));
+    out.put_bool(p.t.up);
+    out.put_u64(p.seq);
+    out.put_bool(p.random);
+  }
+  out.put_u64(next_seq_);
+  out.put_u64(ingress_down_.size());
+  for (const int d : ingress_down_) out.put_i32(d);
+  out.put_u64(egress_down_.size());
+  for (const int d : egress_down_) out.put_i32(d);
+  out.put_i32(ports_down_);
+}
+
+void FaultInjector::load_state(SnapshotReader& in) {
+  load_rng(in, setup_rng_);
+  load_rng(in, port_rng_);
+  num_ports_ = in.get_i32();
+  bound_ = in.get_bool();
+  pending_.clear();
+  const std::uint64_t pending = in.get_u64();
+  pending_.reserve(pending);
+  for (std::uint64_t k = 0; k < pending; ++k) {
+    Pending p;
+    p.t.at = in.get_f64();
+    p.t.port = in.get_i32();
+    const std::uint8_t side = in.get_u8();
+    if (side > static_cast<std::uint8_t>(PortSide::kBoth)) {
+      throw std::runtime_error("FaultInjector::load_state: bad port side");
+    }
+    p.t.side = static_cast<PortSide>(side);
+    p.t.up = in.get_bool();
+    p.seq = in.get_u64();
+    p.random = in.get_bool();
+    pending_.push_back(p);
+  }
+  next_seq_ = in.get_u64();
+  ingress_down_.resize(in.get_u64());
+  for (int& d : ingress_down_) d = in.get_i32();
+  egress_down_.resize(in.get_u64());
+  for (int& d : egress_down_) d = in.get_i32();
+  ports_down_ = in.get_i32();
+}
+
+std::vector<PortFault> parse_fault_trace(std::istream& in, int num_ports) {
   std::vector<PortFault> faults;
   std::string line;
-  int line_no = 0;
+  std::size_t lineno = 0;
   const auto fail = [&](const std::string& what) {
-    throw std::runtime_error("fault trace line " + std::to_string(line_no) + ": " + what);
+    trace_detail::parse_error("fault trace", lineno, what);
   };
-  while (std::getline(in, line)) {
-    ++line_no;
+  while (trace_detail::next_line(in, line, lineno)) {
     const std::size_t first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
+    if (line[first] == '#') continue;
     std::istringstream ls(line);
     PortFault f;
     std::string side;
@@ -276,6 +348,10 @@ std::vector<PortFault> parse_fault_trace(std::istream& in) {
     }
     if (!std::isfinite(f.at) || f.at < 0.0) fail("fault time must be finite and >= 0");
     if (f.port < 0) fail("port must be >= 0");
+    if (num_ports >= 0 && f.port >= num_ports) {
+      fail("port " + std::to_string(f.port) + " out of range for a " +
+           std::to_string(num_ports) + "-port fabric");
+    }
     try {
       f.side = parse_side(side);
     } catch (const std::runtime_error& e) {
@@ -297,10 +373,10 @@ std::vector<PortFault> parse_fault_trace(std::istream& in) {
   return faults;
 }
 
-std::vector<PortFault> load_fault_trace(const std::string& path) {
+std::vector<PortFault> load_fault_trace(const std::string& path, int num_ports) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_fault_trace: cannot open " + path);
-  return parse_fault_trace(in);
+  return parse_fault_trace(in, num_ports);
 }
 
 }  // namespace reco::sim

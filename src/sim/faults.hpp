@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/circuit.hpp"
+#include "core/snapshot.hpp"
 #include "core/types.hpp"
 #include "trace/rng.hpp"
 
@@ -159,6 +160,16 @@ class FaultInjector {
 
   const FaultConfig& config() const { return config_; }
 
+  /// Serialize the mutable mid-run state: both RNG stream positions, the
+  /// pending renewal-process transitions, and the port up/down counters.
+  /// The FaultConfig itself is NOT serialized — load_state requires an
+  /// injector constructed from the same config (the checkpoint modules
+  /// store a config fingerprint alongside and verify it), after which the
+  /// restored injector replays the exact fault timeline the saved one
+  /// would have produced.
+  void save_state(SnapshotWriter& out) const;
+  void load_state(SnapshotReader& in);
+
  private:
   void push_fault(const PortFault& fault);
   void apply(const PortTransition& t);
@@ -190,10 +201,14 @@ class FaultInjector {
 ///   <time_s> <port> <in|out|both> <repair_delay_s | never>
 ///
 /// Throws std::runtime_error naming the offending line on malformed input
-/// (bad numbers, NaN/negative times, negative ports).
-std::vector<PortFault> parse_fault_trace(std::istream& in);
+/// (bad numbers, NaN/negative times, negative ports) via the shared
+/// trace/line_reader.hpp diagnostics, matching read_trace's "<who> line N:
+/// <what>" shape.  `num_ports >= 0` additionally rejects ports outside the
+/// fabric with a line-numbered error (instead of the generic range check
+/// at bind time); < 0 leaves the range check to bind_ports.
+std::vector<PortFault> parse_fault_trace(std::istream& in, int num_ports = -1);
 
 /// File wrapper for parse_fault_trace.
-std::vector<PortFault> load_fault_trace(const std::string& path);
+std::vector<PortFault> load_fault_trace(const std::string& path, int num_ports = -1);
 
 }  // namespace reco::sim

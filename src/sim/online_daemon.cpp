@@ -1,14 +1,24 @@
 #include "sim/online_daemon.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
+#include "core/snapshot.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 #include "obs/timeseries.hpp"
 
 namespace reco::sim {
+
+namespace {
+// "RDCP" little-endian: Reco Daemon CheckPoint.
+constexpr std::uint32_t kDaemonMagic = 0x50434452u;
+constexpr std::uint32_t kDaemonVersion = 1;
+}  // namespace
 
 VectorSource::VectorSource(const std::vector<Coflow>& coflows) : coflows_(&coflows) {
   by_arrival_.resize(coflows.size());
@@ -27,9 +37,53 @@ const Coflow* VectorSource::peek() {
 void VectorSource::pop() { ++cursor_; }
 
 OnlineDaemon::OnlineDaemon(OnlinePolicyKind kind, const OnlineDaemonOptions& options)
-    : core_(kind, options.core), sample_every_(options.sample_every) {}
+    : core_(kind, options.core),
+      sample_every_(options.sample_every),
+      stop_flag_(options.stop_flag),
+      stop_after_events_(options.stop_after_events),
+      checkpoint_every_(options.checkpoint_every),
+      checkpoint_path_(options.checkpoint_path) {}
 
 void OnlineDaemon::reserve(std::size_t expected_coflows) { core_.reserve(expected_coflows); }
+
+void OnlineDaemon::schedule_event(EventKind kind, Time at, std::uint64_t gen) {
+  const std::uint64_t token = next_token_++;
+  pending_events_.push_back({kind, at, gen, token});
+  queue_.schedule(at, [this, kind, gen, token] { dispatch(kind, gen, token); });
+}
+
+void OnlineDaemon::drop_pending(std::uint64_t token) {
+  for (std::size_t i = 0; i < pending_events_.size(); ++i) {
+    if (pending_events_[i].token == token) {
+      pending_events_.erase(pending_events_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void OnlineDaemon::dispatch(EventKind kind, std::uint64_t gen, std::uint64_t token) {
+  drop_pending(token);
+  switch (kind) {
+    case EventKind::kArrival:
+      on_arrival(queue_.now());
+      break;
+    case EventKind::kReplan:
+      on_replan(queue_.now(), gen);
+      break;
+    case EventKind::kComplete:
+      on_complete(queue_.now(), gen);
+      break;
+    case EventKind::kFifoDone:
+      on_fifo_done(queue_.now(), gen);
+      break;
+    case EventKind::kSample:
+      on_sample();
+      break;
+    case EventKind::kCheckpoint:
+      on_checkpoint();
+      break;
+  }
+}
 
 OnlineDaemonReport OnlineDaemon::run(CoflowSource& source) {
   source_ = &source;
@@ -38,14 +92,43 @@ OnlineDaemonReport OnlineDaemon::run(CoflowSource& source) {
     obs::sim_sampler().sample(queue_.now());  // delta base for the first window
     schedule_next_sample();
   }
+  if (checkpoint_every_ > 0.0 && !checkpoint_path_.empty()) {
+    schedule_event(EventKind::kCheckpoint, queue_.now() + checkpoint_every_, gen_);
+  }
   schedule_next_arrival();
-  queue_.run_all();
+  return drive();
+}
+
+OnlineDaemonReport OnlineDaemon::resume(CoflowSource& source, std::istream& checkpoint) {
+  source_ = &source;
+  load_checkpoint(source, checkpoint);
+  if (sample_every_ > 0.0 && obs::enabled() && !queue_.empty()) {
+    // Fresh process, fresh metrics registry: re-seed the sampler's delta
+    // base, mirroring run()'s pre-roll sample.
+    obs::sim_sampler().sample(queue_.now());
+  }
+  return drive();
+}
+
+OnlineDaemonReport OnlineDaemon::drive() {
+  interrupted_ = false;
+  while (queue_.run_one()) {
+    if (queue_.empty()) break;
+    const bool stop_requested = stop_flag_ != nullptr && *stop_flag_ != 0;
+    const std::uint64_t scheduling_events =
+        queue_.events_processed() - sample_events_ - checkpoint_events_;
+    if (stop_requested ||
+        (stop_after_events_ > 0 && scheduling_events >= stop_after_events_)) {
+      interrupted_ = true;
+      break;
+    }
+  }
   source_ = nullptr;
 
   OnlineDaemonReport report;
   report.stats = core_.stats();
   report.digest = core_.digest();
-  report.events = queue_.events_processed() - sample_events_;
+  report.events = queue_.events_processed() - sample_events_ - checkpoint_events_;
   report.makespan = last_activity_;
   const DecisionLatencyRecorder& lat = core_.latency();
   report.decisions = lat.count();
@@ -53,7 +136,118 @@ OnlineDaemonReport OnlineDaemon::run(CoflowSource& source) {
   report.decision_p99_us = lat.quantile_us(0.99);
   report.decision_mean_us = lat.mean_us();
   report.decision_max_us = lat.max_us();
+  report.interrupted = interrupted_;
+  report.checkpoints_written = checkpoint_writes_;
   return report;
+}
+
+void OnlineDaemon::save_checkpoint(std::ostream& out) const {
+  SnapshotWriter w;
+  core_.save(w);
+  w.put_f64(queue_.now());
+  w.put_u64(queue_.events_processed());
+  w.put_u64(gen_);
+  w.put_f64(plan_base_);
+  w.put_bool(running_);
+  w.put_bool(arrival_pending_);
+  w.put_f64(last_activity_);
+  w.put_f64(sample_every_);
+  w.put_u64(sample_events_);
+  w.put_u64(checkpoint_events_);
+  // Sorted by (at, token): re-scheduling in this order hands out fresh
+  // EventQueue sequence numbers that reproduce the saved tie-break order.
+  std::vector<PendingEvent> pending = pending_events_;
+  std::sort(pending.begin(), pending.end(), [](const PendingEvent& a, const PendingEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.token < b.token;
+  });
+  w.put_u64(pending.size());
+  for (const PendingEvent& e : pending) {
+    w.put_u8(static_cast<std::uint8_t>(e.kind));
+    w.put_f64(e.at);
+    w.put_u64(e.gen);
+  }
+  w.finish(out, kDaemonMagic, kDaemonVersion);
+}
+
+void OnlineDaemon::load_checkpoint(CoflowSource& source, std::istream& in) {
+  SnapshotReader r(in, kDaemonMagic, kDaemonVersion, "daemon checkpoint");
+  core_.load(r);
+  const Time now = r.get_f64();
+  const std::uint64_t processed = r.get_u64();
+  gen_ = r.get_u64();
+  plan_base_ = r.get_f64();
+  running_ = r.get_bool();
+  arrival_pending_ = r.get_bool();
+  last_activity_ = r.get_f64();
+  const double saved_sample_every = r.get_f64();
+  if (saved_sample_every != sample_every_) {
+    throw std::runtime_error(
+        "daemon checkpoint: sample_every differs from the saved run");
+  }
+  sample_events_ = r.get_u64();
+  checkpoint_events_ = r.get_u64();
+  const std::uint64_t n_pending = r.get_u64();
+  queue_.restore(now, processed);
+  pending_events_.clear();
+  next_token_ = 0;
+  const bool checkpointing = checkpoint_every_ > 0.0 && !checkpoint_path_.empty();
+  bool checkpoint_chain_live = false;
+  for (std::uint64_t k = 0; k < n_pending; ++k) {
+    const std::uint8_t raw_kind = r.get_u8();
+    if (raw_kind > static_cast<std::uint8_t>(EventKind::kCheckpoint)) {
+      throw std::runtime_error("daemon checkpoint: bad pending event kind");
+    }
+    const auto kind = static_cast<EventKind>(raw_kind);
+    const Time at = r.get_f64();
+    const std::uint64_t gen = r.get_u64();
+    if (kind == EventKind::kCheckpoint) {
+      // The periodic chain belongs to the process, not the run: keep the
+      // saved tick only if this process is configured to checkpoint too
+      // (ticks are excluded from the event count, so dropping one cannot
+      // perturb the schedule or the report).
+      if (!checkpointing) continue;
+      checkpoint_chain_live = true;
+    }
+    schedule_event(kind, at, gen);
+  }
+  r.expect_end();
+  // Replay the deterministic source past the coflows the saved run already
+  // admitted; the next peek() is exactly the next unseen arrival.
+  for (std::uint64_t k = 0; k < core_.stats().submitted; ++k) {
+    if (source.peek() == nullptr) {
+      throw std::runtime_error(
+          "daemon checkpoint: coflow source is shorter than the saved run");
+    }
+    source.pop();
+  }
+  // The periodic tick that wrote this checkpoint had not yet re-armed its
+  // chain when save_checkpoint ran; restore the next tick at the same
+  // instant the original run scheduled it.
+  if (!checkpoint_chain_live && checkpoint_every_ > 0.0 && !checkpoint_path_.empty() &&
+      !queue_.empty()) {
+    schedule_event(EventKind::kCheckpoint, queue_.now() + checkpoint_every_, gen_);
+  }
+}
+
+void OnlineDaemon::write_checkpoint_file() {
+  const std::string tmp = checkpoint_path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("daemon checkpoint: cannot open " + tmp);
+    }
+    save_checkpoint(out);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("daemon checkpoint: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), checkpoint_path_.c_str()) != 0) {
+    throw std::runtime_error("daemon checkpoint: rename failed for " + checkpoint_path_);
+  }
+  ++checkpoint_writes_;
+  if (obs::enabled()) obs::metrics().counter("daemon.checkpoints").inc();
 }
 
 std::size_t OnlineDaemon::ingest_until(Time horizon) {
@@ -72,7 +266,7 @@ void OnlineDaemon::schedule_next_arrival() {
   const Coflow* c = source_->peek();
   if (c == nullptr) return;
   arrival_pending_ = true;
-  queue_.schedule(std::max(c->arrival, queue_.now()), [this] { on_arrival(queue_.now()); });
+  schedule_event(EventKind::kArrival, std::max(c->arrival, queue_.now()), gen_);
 }
 
 void OnlineDaemon::on_arrival(Time now) {
@@ -100,8 +294,7 @@ void OnlineDaemon::on_arrival(Time now) {
       obs::flight_recorder().record("cut", now, static_cast<std::int64_t>(admitted),
                                     replan_at - now);
     }
-    const std::uint64_t gen = gen_;
-    queue_.schedule(replan_at, [this, gen] { on_replan(queue_.now(), gen); });
+    schedule_event(EventKind::kReplan, replan_at, gen_);
   } else if (was_idle) {
     start_if_idle(now);
   }
@@ -145,37 +338,44 @@ void OnlineDaemon::on_fifo_done(Time now, std::uint64_t gen) {
 
 void OnlineDaemon::on_sample() {
   ++sample_events_;
-  obs::sim_sampler().sample(queue_.now());
+  if (obs::enabled()) obs::sim_sampler().sample(queue_.now());
   // Any live run keeps >= 1 real event queued (an arrival, completion,
   // replan, or fifo_done); an empty queue here means the stream drained, so
   // this tick closed the final window and the chain ends with it.
   if (!queue_.empty()) schedule_next_sample();
 }
 
+void OnlineDaemon::on_checkpoint() {
+  ++checkpoint_events_;  // counted before the write so the snapshot includes this tick
+  write_checkpoint_file();
+  if (!queue_.empty()) {
+    schedule_event(EventKind::kCheckpoint, queue_.now() + checkpoint_every_, gen_);
+  }
+}
+
 void OnlineDaemon::schedule_next_sample() {
-  queue_.schedule(queue_.now() + sample_every_, [this] { on_sample(); });
+  schedule_event(EventKind::kSample, queue_.now() + sample_every_, gen_);
 }
 
 void OnlineDaemon::start_if_idle(Time now) {
   if (running_ || core_.idle()) return;
   running_ = true;
-  const std::uint64_t gen = gen_;
   if (core_.policy().serialize_batch()) {
     const Time done = core_.step_fifo(now);
-    queue_.schedule(std::max(done, now), [this, gen] { on_fifo_done(queue_.now(), gen); });
+    schedule_event(EventKind::kFifoDone, std::max(done, now), gen_);
   } else if (core_.policy().preempt_on_arrival()) {
     // Plan and *hold*: commit happens either at the cut (an arrival) or at
     // the completion event if nothing interrupts.
     plan_base_ = now;
     const Time makespan = core_.plan(now);
-    queue_.schedule(now + makespan, [this, gen] { on_complete(queue_.now(), gen); });
+    schedule_event(EventKind::kComplete, now + makespan, gen_);
   } else {
     // Epoch batching is non-preemptive: the whole plan commits up front and
     // the fabric is busy until it drains.
     plan_base_ = now;
     core_.plan(now);
     const Time epoch_end = core_.commit(std::numeric_limits<Time>::infinity());
-    queue_.schedule(now + epoch_end, [this, gen] { on_complete(queue_.now(), gen); });
+    schedule_event(EventKind::kComplete, now + epoch_end, gen_);
   }
 }
 

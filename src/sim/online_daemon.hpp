@@ -13,7 +13,13 @@
 //    its event fires, and cuts the running plan *then* — same kept prefix,
 //    no lookahead into the future;
 //  * zero steady-state allocation: small-buffer EventFn handlers, slot
-//    recycling in the core, and a bounded number of outstanding events.
+//    recycling in the core, and a bounded number of outstanding events;
+//  * deterministic checkpoint/restart (docs/RELIABILITY.md): every
+//    outstanding event is mirrored in a typed pending-event table, so the
+//    whole daemon — core slots, clock, dispatch counter, generation tags,
+//    and the event queue itself — serializes to a versioned snapshot, and
+//    a run resumed from it replays byte-identically (same digest, stats,
+//    makespan, event count) to the uninterrupted run.
 //
 // Event protocol (generation-tagged; a bumped generation orphans every
 // event scheduled under the old one):
@@ -27,9 +33,15 @@
 //   complete(t): commit the whole plan (nothing cut it), then replan if
 //                anything is still live.
 //   fifo_done(t): serve the next admitted coflow, if any.
+//   sample(t) / checkpoint(t): telemetry snapshot / periodic checkpoint
+//                write; both are write-only with respect to scheduling and
+//                excluded from the reported event count.
 #pragma once
 
+#include <csignal>
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/coflow.hpp"
@@ -85,6 +97,23 @@ struct OnlineDaemonOptions {
   /// sampler).  Sampling is write-only: schedules, digest, makespan, and
   /// the reported event count are byte-identical with it on or off.
   double sample_every = 0.0;
+  /// Graceful-shutdown flag (e.g. set from a SIGINT/SIGTERM handler).  The
+  /// drive loop polls it between events and stops at the next event
+  /// boundary — a consistent, checkpointable state — with
+  /// `report.interrupted` set.  Null: never polled.
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
+  /// Deterministic interruption point for tests/CI: stop after this many
+  /// *scheduling* events (sampler/checkpoint ticks excluded; 0 = never).
+  /// Unlike a signal, the cut lands at the same event at every thread
+  /// count, which is what the kill-and-resume byte-identity tests pin.
+  std::uint64_t stop_after_events = 0;
+  /// Periodic checkpointing: every `checkpoint_every` sim-seconds (> 0,
+  /// with a non-empty `checkpoint_path`) the daemon writes a checkpoint of
+  /// itself to the path (atomically, via a .tmp sibling and rename).
+  /// Checkpoint ticks ride the EventQueue but never touch scheduling
+  /// state, so the run is byte-identical with them on or off.
+  double checkpoint_every = 0.0;
+  std::string checkpoint_path;
 };
 
 /// End-of-run summary: core stats plus the daemon-level determinism and
@@ -92,13 +121,15 @@ struct OnlineDaemonOptions {
 struct OnlineDaemonReport {
   OnlineCoreStats stats;
   std::uint64_t digest = 0;          ///< FNV-1a over every emitted slice
-  std::uint64_t events = 0;          ///< EventQueue dispatches (excluding sampler ticks)
+  std::uint64_t events = 0;          ///< EventQueue dispatches (excluding sampler/checkpoint ticks)
   Time makespan = 0.0;               ///< sim clock at the last scheduling event
   double decision_p50_us = 0.0;      ///< per-decision latency quantiles
   double decision_p99_us = 0.0;
   double decision_mean_us = 0.0;
   double decision_max_us = 0.0;
   std::uint64_t decisions = 0;
+  bool interrupted = false;          ///< stopped early (stop flag / event quota)
+  std::uint64_t checkpoints_written = 0;
 };
 
 class OnlineDaemon {
@@ -109,18 +140,56 @@ class OnlineDaemon {
   void reserve(std::size_t expected_coflows);
 
   /// Drive the event loop until the source is exhausted and every admitted
-  /// coflow has finished.  One daemon runs one stream.
+  /// coflow has finished (or a stop condition fires — see
+  /// `report.interrupted`).  One daemon runs one stream.
   OnlineDaemonReport run(CoflowSource& source);
+
+  /// Restore a saved run and drive it to completion.  `source` must be the
+  /// same stream the saved run consumed (deterministic sources replay; the
+  /// daemon fast-forwards it to the saved admission cursor).  The daemon
+  /// must be freshly constructed with the same policy kind and options —
+  /// mismatches throw std::runtime_error, as do truncated/corrupted/
+  /// version-mismatched checkpoints.
+  OnlineDaemonReport resume(CoflowSource& source, std::istream& checkpoint);
+
+  /// Serialize the complete daemon state (valid between events: after an
+  /// interrupted run(), or from inside a checkpoint tick).
+  void save_checkpoint(std::ostream& out) const;
 
   const OnlineCore& core() const { return core_; }
 
  private:
+  enum class EventKind : std::uint8_t {
+    kArrival = 0,
+    kReplan = 1,
+    kComplete = 2,
+    kFifoDone = 3,
+    kSample = 4,
+    kCheckpoint = 5,
+  };
+  /// Serializable mirror of one outstanding EventQueue entry.  `token`
+  /// reproduces insertion order among equal-time events across a restore.
+  struct PendingEvent {
+    EventKind kind;
+    Time at;
+    std::uint64_t gen;
+    std::uint64_t token;
+  };
+
+  void schedule_event(EventKind kind, Time at, std::uint64_t gen);
+  void dispatch(EventKind kind, std::uint64_t gen, std::uint64_t token);
+  void drop_pending(std::uint64_t token);
+
   void on_arrival(Time now);
   void on_replan(Time now, std::uint64_t gen);
   void on_complete(Time now, std::uint64_t gen);
   void on_fifo_done(Time now, std::uint64_t gen);
   void on_sample();
+  void on_checkpoint();
   void schedule_next_sample();
+  void write_checkpoint_file();
+  void load_checkpoint(CoflowSource& source, std::istream& in);
+  OnlineDaemonReport drive();
 
   /// Submit every source coflow with arrival <= horizon; returns how many.
   /// Mirrors the loop driver's eps-tolerant admission boundary.
@@ -135,14 +204,22 @@ class OnlineDaemon {
   /// touch scheduling state, so they cannot perturb the run.
   double sample_every_ = 0.0;
   std::uint64_t sample_events_ = 0;  ///< sampler dispatches, excluded from report
+  const volatile std::sig_atomic_t* stop_flag_ = nullptr;
+  std::uint64_t stop_after_events_ = 0;
+  double checkpoint_every_ = 0.0;
+  std::string checkpoint_path_;
+  std::uint64_t checkpoint_events_ = 0;  ///< checkpoint dispatches, excluded from report
+  std::uint64_t checkpoint_writes_ = 0;
+  bool interrupted_ = false;
+  /// Typed mirror of every event currently in the queue (a handful at any
+  /// moment), in insertion order — the serializable half of the EventQueue.
+  std::vector<PendingEvent> pending_events_;
+  std::uint64_t next_token_ = 0;
   /// Sim clock at the most recent *scheduling* event — the report makespan
   /// (queue_.now() may trail into pure sampler ticks after the last slice).
   Time last_activity_ = 0.0;
   /// Bumped whenever a cut invalidates in-flight completion/replan events.
   std::uint64_t gen_ = 0;
-  /// Absolute end of the committed (kept) prefix still occupying the
-  /// fabric; replans never start earlier.
-  Time busy_until_ = 0.0;
   Time plan_base_ = 0.0;
   bool running_ = false;          ///< a plan/epoch/serve is outstanding
   bool arrival_pending_ = false;  ///< an arrival event is in the queue

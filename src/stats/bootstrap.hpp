@@ -1,0 +1,51 @@
+// Bootstrap confidence intervals for Monte-Carlo campaign aggregates.
+//
+// A reliability campaign runs N seeded replications per cell and reports
+// distribution statistics (mean, p50, p99) per metric.  With N in the
+// dozens-to-hundreds range, point estimates alone are misleading — two
+// recovery policies whose mean stranded demand differs by less than the
+// replication noise are indistinguishable.  The percentile bootstrap
+// quantifies that noise: resample the N replications with replacement B
+// times, recompute the statistic on each resample, and report the
+// [alpha/2, 1-alpha/2] quantiles of the resampled statistics.
+//
+// Determinism: resampling uses an internal splitmix64 stream seeded by the
+// caller, so a campaign report is byte-identical across runs, thread
+// counts, and checkpoint/resume (reco_stats sits below reco_trace in the
+// layer graph, so this deliberately does not use trace::Rng).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace reco {
+
+/// One summarized metric distribution: point estimates plus bootstrap CIs.
+struct DistributionSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double mean_lo = 0.0;  ///< bootstrap CI bounds for the mean
+  double mean_hi = 0.0;
+  double p50 = 0.0;
+  double p50_lo = 0.0;
+  double p50_hi = 0.0;
+  double p99 = 0.0;
+  double p99_lo = 0.0;
+  double p99_hi = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct BootstrapOptions {
+  int resamples = 1000;       ///< B; clamped to >= 1
+  double confidence = 0.95;   ///< CI mass, in (0, 1)
+  std::uint64_t seed = 0x5eed0002u;  ///< resampling stream seed
+};
+
+/// Summarize `xs` with percentile-bootstrap CIs on mean/p50/p99.  Empty
+/// input returns an all-zero summary; a single sample collapses every CI
+/// to the point estimate.
+DistributionSummary summarize_distribution(const std::vector<double>& xs,
+                                           const BootstrapOptions& options = {});
+
+}  // namespace reco

@@ -196,5 +196,124 @@ TEST(MetricsHttpServer, StopJoinsAndPortIsReusable) {
   second.stop();
 }
 
+/// Raw loopback connection for the misbehaving-client tests.
+int connect_to(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string read_all(int fd) {
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got <= 0) break;
+    response.append(buf, static_cast<std::size_t>(got));
+  }
+  return response;
+}
+
+TEST(MetricsHttpServer, ServesRequestsArrivingInPartialSegments) {
+  FreshRegistry fresh;
+  metrics().counter("exp.partial.segments").inc(5.0);
+  MetricsHttpServer server;
+  server.start(0);
+
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  // A legal-but-annoying client: the request line lands in three segments.
+  for (const char* piece : {"GET /met", "rics HTT", "P/1.0\r\n\r\n"}) {
+    ASSERT_GT(::send(fd, piece, std::strlen(piece), 0), 0);
+    usleep(10 * 1000);
+  }
+  const std::string response = read_all(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("reco_exp_partial_segments 5"), std::string::npos);
+  EXPECT_EQ(server.requests_served(), 1u);
+  EXPECT_EQ(server.clients_dropped(), 0u);
+  server.stop();
+}
+
+TEST(MetricsHttpServer, SilentClientIsDroppedAndServiceContinues) {
+  FreshRegistry fresh;
+  MetricsHttpServer server;
+  server.set_client_timeout_ms(100);
+  server.start(0);
+
+  // Connect and send nothing: the server must cut us loose at the idle
+  // timeout instead of wedging its accept loop forever.
+  const int mute = connect_to(server.port());
+  ASSERT_GE(mute, 0);
+  char byte;
+  const ssize_t got = ::recv(mute, &byte, 1, 0);  // blocks until the server closes
+  EXPECT_LE(got, 0);
+  ::close(mute);
+  EXPECT_GE(server.clients_dropped(), 1u);
+
+  // The next well-behaved scrape is unaffected.
+  const std::string after = http_get(server.port(), "/metrics");
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+  EXPECT_EQ(server.requests_served(), 1u);
+  server.stop();
+}
+
+TEST(MetricsHttpServer, OversizedRequestGets413) {
+  FreshRegistry fresh;
+  MetricsHttpServer server;
+  server.start(0);
+
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  // A "request line" that never ends: more than kMaxRequestBytes without a
+  // newline must be answered 413, not buffered without bound.
+  const std::string flood(MetricsHttpServer::kMaxRequestBytes + 1000, 'A');
+  std::size_t sent = 0;
+  while (sent < flood.size()) {
+    const ssize_t n = ::send(fd, flood.data() + sent, flood.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;  // server may already have responded and closed
+    sent += static_cast<std::size_t>(n);
+  }
+  const std::string response = read_all(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("413"), std::string::npos);
+
+  // Still serving.
+  const std::string after = http_get(server.port(), "/metrics");
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+  server.stop();
+}
+
+TEST(MetricsHttpServer, ClientHangingUpMidResponseDoesNotKillTheProcess) {
+  FreshRegistry fresh;
+  // A big registry makes the response span multiple sends.
+  for (int i = 0; i < 400; ++i) {
+    metrics().counter("exp.hangup.metric_" + std::to_string(i)).inc(1.0);
+  }
+  MetricsHttpServer server;
+  server.start(0);
+  for (int round = 0; round < 3; ++round) {
+    const int fd = connect_to(server.port());
+    ASSERT_GE(fd, 0);
+    const char* request = "GET /metrics HTTP/1.0\r\n\r\n";
+    ASSERT_GT(::send(fd, request, std::strlen(request), 0), 0);
+    ::close(fd);  // hang up without reading the response
+  }
+  // If any of those closes raised SIGPIPE, the process is already gone; a
+  // live scrape proves the server absorbed them.
+  const std::string after = http_get(server.port(), "/metrics");
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace reco::obs

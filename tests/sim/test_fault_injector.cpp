@@ -239,5 +239,58 @@ TEST(FaultTrace, MalformedLinesNameTheLineNumber) {
   EXPECT_THROW(load_fault_trace("/nonexistent/fault/trace"), std::runtime_error);
 }
 
+TEST(FaultTrace, NonFiniteTimesAndDelaysAreLineNumbered) {
+  const auto error_of = [](const char* text) -> std::string {
+    std::istringstream in(text);
+    try {
+      parse_fault_trace(in);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return {};
+  };
+  // "inf" is rejected either at extraction or by the finite check — both
+  // paths must name the offending line.
+  const std::string inf_time = error_of("0.5 1 in 1.0\ninf 0 both never\n");
+  EXPECT_NE(inf_time.find("fault trace line 2"), std::string::npos);
+  const std::string nan_delay = error_of("1 0 both nan\n");
+  EXPECT_NE(nan_delay.find("line 1"), std::string::npos);
+  EXPECT_NE(nan_delay.find("repair delay"), std::string::npos);
+  const std::string trailing = error_of("1 0 both never extra\n");
+  EXPECT_NE(trailing.find("line 1"), std::string::npos);
+  EXPECT_NE(trailing.find("extra"), std::string::npos);
+}
+
+TEST(FaultTrace, PortRangeIsCheckedAtParseTimeWhenKnown) {
+  // With the fabric size supplied, an out-of-range port is a *parse* error
+  // naming the line — not a generic range failure later at bind time.
+  const auto parse_with = [](const char* text, int num_ports) {
+    std::istringstream in(text);
+    return parse_fault_trace(in, num_ports);
+  };
+  const auto faults = parse_with("0.5 7 in 1.0\n", 8);  // port 7 of 8: fine
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].port, 7);
+
+  std::string what;
+  try {
+    parse_with("0.5 3 in 1.0\n1.0 8 out never\n", 8);
+  } catch (const std::runtime_error& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("line 2"), std::string::npos);
+  EXPECT_NE(what.find("out of range"), std::string::npos);
+  EXPECT_NE(what.find("8"), std::string::npos);
+
+  // Without the fabric size the check is deferred to bind_ports, which
+  // still rejects the trace — just without line provenance.
+  const auto deferred = parse_with("0.5 8 out never\n", -1);
+  ASSERT_EQ(deferred.size(), 1u);
+  FaultConfig config;
+  config.port_faults = deferred;
+  FaultInjector injector(config);
+  EXPECT_THROW(injector.bind_ports(8), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace reco::sim
